@@ -1,0 +1,34 @@
+//! Criterion benchmark of the raw blossom matcher: minimum-weight perfect
+//! matching on random complete graphs, the kernel cost of the MWPM
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qecool_mwpm::min_weight_perfect_matching;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_complete_graph(n: usize, seed: u64) -> Vec<(usize, usize, i64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push((i, j, rng.gen_range(1..100i64)));
+        }
+    }
+    edges
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom_mwpm");
+    for n in [16usize, 64, 128] {
+        let edges = random_complete_graph(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(min_weight_perfect_matching(n, &edges).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blossom);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the decode inner loops behind the paper's
+//! figures:
+//!
+//! * `batch_qecool/d` — one full batch decode of a `d`-round window
+//!   (Fig. 4(a) inner loop);
+//! * `online_qecool_layer/d` — one on-line layer: push + budgeted run
+//!   (Fig. 7 / Table III inner loop);
+//! * `mwpm/d` — one exact MWPM decode of the same window (Fig. 4(a)
+//!   baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qecool::{QecoolConfig, QecoolDecoder};
+use qecool_mwpm::MwpmDecoder;
+use qecool_uf::UnionFindDecoder;
+use qecool_surface_code::{CodePatch, Lattice, PhenomenologicalNoise, SyndromeHistory};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const P: f64 = 0.01;
+
+/// Pre-generates a noisy syndrome history of `d` rounds plus closure.
+fn make_history(d: usize, seed: u64) -> SyndromeHistory {
+    let lattice = Lattice::new(d).unwrap();
+    let noise = PhenomenologicalNoise::symmetric(P);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut patch = CodePatch::new(lattice.clone());
+    let mut history = SyndromeHistory::new(lattice);
+    for _ in 0..d {
+        history.push(patch.noisy_round(&noise, &mut rng));
+    }
+    history.push(patch.perfect_round());
+    history
+}
+
+fn bench_batch_qecool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_qecool");
+    for d in [5usize, 9, 13] {
+        let history = make_history(d, 42);
+        let lattice = Lattice::new(d).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut decoder =
+                    QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(history.num_rounds()));
+                for round in &history {
+                    decoder.push_round(round).unwrap();
+                }
+                black_box(decoder.drain().corrections.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_qecool_layer");
+    for d in [5usize, 9, 13] {
+        let lattice = Lattice::new(d).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(P);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_with_setup(
+                || {
+                    // Fresh decoder + patch with a few warm-up layers.
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    let mut patch = CodePatch::new(lattice.clone());
+                    let mut decoder =
+                        QecoolDecoder::new(lattice.clone(), QecoolConfig::online());
+                    for _ in 0..3 {
+                        let round = patch.noisy_round(&noise, &mut rng);
+                        decoder.push_round(&round).unwrap();
+                        let report = decoder.run(Some(2000));
+                        patch.apply_corrections(report.corrections.iter().copied());
+                    }
+                    (patch, decoder, rng)
+                },
+                |(mut patch, mut decoder, mut rng)| {
+                    let round = patch.noisy_round(&noise, &mut rng);
+                    let _ = decoder.push_round(&round);
+                    black_box(decoder.run(Some(2000)).cycles)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwpm");
+    for d in [5usize, 9, 13] {
+        let history = make_history(d, 42);
+        let decoder = MwpmDecoder::new(Lattice::new(d).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(decoder.decode(&history).unwrap().corrections.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find");
+    for d in [5usize, 9, 13] {
+        let history = make_history(d, 42);
+        let decoder = UnionFindDecoder::new(Lattice::new(d).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(decoder.decode(&history).corrections.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_qecool,
+    bench_online_layer,
+    bench_mwpm,
+    bench_union_find
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table I**: the summary of SFQ logic elements (JJ count,
+//! bias current, area, latency per cell of the RSFQ library).
+//!
+//! ```text
+//! cargo run --release -p qecool-bench --bin table1 [-- --out table1.csv]
+//! ```
+
+use qecool_bench::{Options, TextTable};
+use qecool_sfq::CellKind;
+
+fn main() {
+    let opts = Options::parse(0);
+    let mut table = TextTable::new(["cell", "JJs", "Bias current (mA)", "Area (um^2)", "Latency (ps)"]);
+    for kind in CellKind::ALL {
+        let p = kind.params();
+        table.row([
+            kind.table_name().to_owned(),
+            p.jjs.to_string(),
+            format!("{:.3}", p.bias_ma),
+            format!("{:.0}", p.area_um2),
+            format!("{:.1}", p.latency_ps),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(reproduces Table I verbatim: the cell library is input data for the hardware model)");
+    opts.write_csv(&table.to_csv());
+}

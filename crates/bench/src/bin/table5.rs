@@ -1,0 +1,85 @@
+//! Regenerates **Table V**: the quantitative AQEC-vs-QECOOL comparison at
+//! `d = 9`, `p = 0.001` — thresholds, execution time per layer, power per
+//! Unit, Units per logical qubit, 3-D applicability, and the number of
+//! logical qubits protectable inside the 1 W @ 4 K budget.
+//!
+//! The AQEC column is the analytic model from the paper's constants; the
+//! QECOOL column combines the ERSFQ power model with execution cycles
+//! *measured* by the cycle-accounted simulator.
+//!
+//! ```text
+//! cargo run --release -p qecool-bench --bin table5 [-- --shots N --fast --out table5.csv]
+//! ```
+
+use qecool_bench::{Options, TextTable};
+use qecool_sfq::compare::{table5_aqec_column, table5_qecool_column, Table5Column};
+use qecool_sim::{run_monte_carlo, DecoderKind, TrialConfig};
+
+fn main() {
+    let opts = Options::parse(600);
+
+    eprintln!("measuring QECOOL execution cycles at d = 9, p = 0.001 (2 GHz)...");
+    let cfg = TrialConfig::standard(9, 0.001, DecoderKind::OnlineQecool { budget_cycles: 2000 });
+    let mc = run_monte_carlo(&cfg, opts.shots, opts.seed);
+    let agg = mc.layer_cycles;
+
+    // Thresholds: our measured reproduction values (see fig4a / fig7 /
+    // table4 for their derivation); pass the paper's if you prefer via the
+    // printed comparison row.
+    let qecool = table5_qecool_column(Some(0.06), Some(0.01), agg.max, agg.mean(), 2.0e9);
+    let aqec = table5_aqec_column();
+
+    let fmt_pth = |v: Option<f64>| v.map_or_else(|| "unknown".to_owned(), |x| format!("{:.1}%", x * 100.0));
+    let mut table = TextTable::new([
+        "quantity",
+        "AQEC",
+        "QECOOL (7-bit Reg)",
+        "paper QECOOL",
+    ]);
+    let paper: Table5Column = table5_qecool_column(Some(0.06), Some(0.01), 800, 41.6, 2.0e9);
+    table.row([
+        "pth (2-D / 3-D)".to_owned(),
+        format!("{} / {}", fmt_pth(aqec.pth_2d), fmt_pth(aqec.pth_3d)),
+        format!("{} / {}", fmt_pth(qecool.pth_2d), fmt_pth(qecool.pth_3d)),
+        "6.0% / 1.0%".to_owned(),
+    ]);
+    table.row([
+        "exec time per layer Max/Avg (ns)".to_owned(),
+        format!("{:.1} / {:.2}", aqec.exec_max_ns, aqec.exec_avg_ns),
+        format!("{:.1} / {:.1}", qecool.exec_max_ns, qecool.exec_avg_ns),
+        format!("{:.0} / {:.1}", paper.exec_max_ns, paper.exec_avg_ns),
+    ]);
+    table.row([
+        "power per Unit (uW)".to_owned(),
+        format!("{:.2}", aqec.power_per_unit_uw),
+        format!("{:.2}", qecool.power_per_unit_uw),
+        "2.78".to_owned(),
+    ]);
+    table.row([
+        "# Units per logical qubit".to_owned(),
+        format!("(2d-1)^2 = {}", aqec.units_per_lq),
+        format!("2d(d-1) = {}", qecool.units_per_lq),
+        "144".to_owned(),
+    ]);
+    table.row([
+        "directly applicable to 3-D".to_owned(),
+        if aqec.directly_3d { "Yes" } else { "No (x7 modules assumed)" }.to_owned(),
+        if qecool.directly_3d { "Yes" } else { "No" }.to_owned(),
+        "Yes".to_owned(),
+    ]);
+    table.row([
+        "# protectable logical qubits (1 W @ 4 K)".to_owned(),
+        aqec.protectable_lq.to_string(),
+        qecool.protectable_lq.to_string(),
+        "2498".to_owned(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "measured exec cycles at d=9, p=0.001: max={} avg={:.1} sigma={:.1} over {} layers",
+        agg.max,
+        agg.mean(),
+        agg.std_dev(),
+        agg.count
+    );
+    opts.write_csv(&table.to_csv());
+}

@@ -1,0 +1,194 @@
+//! Shared plumbing for the per-table/figure regeneration binaries.
+//!
+//! Every binary in this crate regenerates one artifact of the QECOOL paper
+//! (see DESIGN.md §4 for the experiment index) and accepts the same small
+//! set of flags:
+//!
+//! * `--shots N` — base Monte-Carlo shots per point (scaled internally);
+//! * `--seed S` — base RNG seed (default 2021, the paper's year);
+//! * `--fast` — divide shots by 10 for a quick smoke run;
+//! * `--out FILE` — additionally write machine-readable CSV.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Common command-line options of the regeneration binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Base Monte-Carlo shots per sweep point.
+    pub shots: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Optional CSV output path.
+    pub out: Option<String>,
+}
+
+impl Options {
+    /// Parses `std::env::args`, with `default_shots` as the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn parse(default_shots: usize) -> Self {
+        let mut opts = Self {
+            shots: default_shots,
+            seed: 2021,
+            out: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--shots" => {
+                    let v = args.next().expect("--shots needs a value");
+                    opts.shots = v.parse().expect("--shots must be an integer");
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--fast" => opts.shots = (opts.shots / 10).max(20),
+                "--out" => opts.out = Some(args.next().expect("--out needs a path")),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--shots N] [--seed S] [--fast] [--out FILE]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Writes CSV content to `--out` if given; reports the path on stderr.
+    pub fn write_csv(&self, csv: &str) {
+        if let Some(path) = &self.out {
+            let mut f = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(csv.as_bytes()).expect("write CSV");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// A fixed-width text table mirroring the paper's table layout.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no alignment padding).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.clone()
+            }
+        };
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The code distances evaluated throughout the paper's figures.
+pub const PAPER_DISTANCES: [usize; 5] = [5, 7, 9, 11, 13];
+
+/// Formats a rate with its Wilson 95% interval.
+pub fn fmt_rate(est: qecool_sim::RateEstimate) -> String {
+    let (lo, hi) = est.wilson_interval();
+    format!("{:.4} [{:.4},{:.4}]", est.rate(), lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_aligns_columns() {
+        let mut t = TextTable::new(["a", "bbbb"]);
+        t.row(["xxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(["name", "v"]);
+        t.row(["a,b", "1"]);
+        assert!(t.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn fmt_rate_includes_interval() {
+        let s = fmt_rate(qecool_sim::RateEstimate::new(1, 100));
+        assert!(s.starts_with("0.0100 ["));
+    }
+}

@@ -1,0 +1,346 @@
+//! The per-Unit measurement register (`Reg`) bank.
+//!
+//! Each hardware Unit stores its ancilla's detection events in a small
+//! shift-register queue (`Reg`, 7 bits in the paper's implementation,
+//! §IV-A). A `Push` broadcast appends the newest measurement to every Unit;
+//! a `Pop` broadcast retires the oldest layer once it is fully decoded.
+//!
+//! [`RegFile`] models the whole bank: one machine word per Unit, plus the
+//! shared occupancy counter `m` (all Units hold the same number of layers —
+//! the Controller broadcasts Push/Pop to everyone simultaneously).
+
+use std::fmt;
+
+/// Maximum register capacity supported by the packed representation.
+pub const MAX_REG_CAPACITY: usize = 64;
+
+/// Error returned when a `Push` arrives while the registers are full —
+/// the paper treats this buffer overflow as a decoding failure (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegOverflow {
+    capacity: usize,
+}
+
+impl RegOverflow {
+    /// The register capacity that was exceeded.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for RegOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "measurement register overflow (capacity {} layers)",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RegOverflow {}
+
+/// The bank of per-Unit measurement registers.
+///
+/// Bit `t` of unit `u`'s word is the detection event of time layer `t`
+/// (0 = oldest pending layer).
+///
+/// # Example
+///
+/// ```
+/// use qecool::reg::RegFile;
+///
+/// let mut regs = RegFile::new(4, 7);
+/// regs.push_round(&[true, false, false, true])?;
+/// assert_eq!(regs.occupancy(), 1);
+/// assert!(regs.get(0, 0));
+/// regs.clear(0, 0);
+/// regs.clear(3, 0);
+/// assert!(regs.layer_zero_clear());
+/// # Ok::<(), qecool::reg::RegOverflow>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    words: Vec<u64>,
+    capacity: usize,
+    occupancy: usize,
+}
+
+impl RegFile {
+    /// Creates a register bank for `num_units` Units with the given layer
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds [`MAX_REG_CAPACITY`].
+    pub fn new(num_units: usize, capacity: usize) -> Self {
+        assert!(
+            capacity > 0 && capacity <= MAX_REG_CAPACITY,
+            "capacity must be in 1..={MAX_REG_CAPACITY}, got {capacity}"
+        );
+        Self {
+            words: vec![0; num_units],
+            capacity,
+            occupancy: 0,
+        }
+    }
+
+    /// Number of Units in the bank.
+    pub fn num_units(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Layer capacity of each register (7 in the paper's design).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of layers currently held (`m` in Algorithm 1).
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Appends one detection-event layer (the `Push` broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegOverflow`] when the registers already hold
+    /// `capacity` layers — the slow-decoder failure mode of §V-B.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events.len() != self.num_units()`.
+    pub fn push_round(&mut self, events: &[bool]) -> Result<(), RegOverflow> {
+        assert_eq!(events.len(), self.num_units(), "round width mismatch");
+        if self.occupancy == self.capacity {
+            return Err(RegOverflow {
+                capacity: self.capacity,
+            });
+        }
+        let bit = 1u64 << self.occupancy;
+        for (word, &fired) in self.words.iter_mut().zip(events) {
+            if fired {
+                *word |= bit;
+            }
+        }
+        self.occupancy += 1;
+        Ok(())
+    }
+
+    /// Retires the oldest layer (the `Pop` broadcast / `SHIFTREG`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is empty, or if layer 0 still holds events —
+    /// the Controller only pops once the oldest layer is fully decoded.
+    pub fn shift(&mut self) {
+        assert!(self.occupancy > 0, "shift on empty register bank");
+        assert!(
+            self.layer_zero_clear(),
+            "shift while layer 0 still holds events"
+        );
+        for word in &mut self.words {
+            *word >>= 1;
+        }
+        self.occupancy -= 1;
+    }
+
+    /// Detection-event bit of unit `u` at layer `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= occupancy` or `u` is out of range.
+    #[inline]
+    pub fn get(&self, u: usize, t: usize) -> bool {
+        assert!(t < self.occupancy, "layer {t} >= occupancy {}", self.occupancy);
+        (self.words[u] >> t) & 1 == 1
+    }
+
+    /// Clears the event bit of unit `u` at layer `t` (a match consumed it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= occupancy` or `u` is out of range.
+    #[inline]
+    pub fn clear(&mut self, u: usize, t: usize) {
+        assert!(t < self.occupancy, "layer {t} >= occupancy {}", self.occupancy);
+        self.words[u] &= !(1u64 << t);
+    }
+
+    /// `true` when unit `u` holds no event in any pending layer (what the
+    /// Row Master checks before granting a Token to a row).
+    #[inline]
+    pub fn unit_quiet(&self, u: usize) -> bool {
+        self.words[u] == 0
+    }
+
+    /// Earliest layer `>= t` where unit `u` holds an event — the
+    /// oldest-first scan of the paper's spike generation (§III-B).
+    #[inline]
+    pub fn first_event_at_or_after(&self, u: usize, t: usize) -> Option<usize> {
+        if t >= self.occupancy {
+            return None;
+        }
+        let masked = self.words[u] >> t;
+        if masked == 0 {
+            None
+        } else {
+            let layer = t + masked.trailing_zeros() as usize;
+            (layer < self.occupancy).then_some(layer)
+        }
+    }
+
+    /// `true` when no unit holds an event in layer 0 (the `Pop` condition).
+    pub fn layer_zero_clear(&self) -> bool {
+        self.occupancy == 0 || self.words.iter().all(|w| w & 1 == 0)
+    }
+
+    /// `true` when every register is empty (decoding fully drained).
+    pub fn all_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Total number of pending events across all units and layers.
+    pub fn pending_events(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut regs = RegFile::new(3, 7);
+        regs.push_round(&[true, false, true]).unwrap();
+        regs.push_round(&[false, true, false]).unwrap();
+        assert_eq!(regs.occupancy(), 2);
+        assert!(regs.get(0, 0));
+        assert!(!regs.get(0, 1));
+        assert!(regs.get(1, 1));
+        assert!(regs.get(2, 0));
+        assert_eq!(regs.pending_events(), 3);
+    }
+
+    #[test]
+    fn overflow_after_capacity_pushes() {
+        let mut regs = RegFile::new(2, 3);
+        for _ in 0..3 {
+            regs.push_round(&[false, false]).unwrap();
+        }
+        let err = regs.push_round(&[false, false]).unwrap_err();
+        assert_eq!(err.capacity(), 3);
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn shift_retires_oldest_layer() {
+        let mut regs = RegFile::new(2, 4);
+        regs.push_round(&[false, false]).unwrap();
+        regs.push_round(&[true, false]).unwrap();
+        regs.shift();
+        assert_eq!(regs.occupancy(), 1);
+        assert!(regs.get(0, 0), "layer 1 must move down to layer 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "layer 0 still holds events")]
+    fn shift_with_pending_layer_zero_panics() {
+        let mut regs = RegFile::new(1, 4);
+        regs.push_round(&[true]).unwrap();
+        regs.shift();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn shift_empty_panics() {
+        RegFile::new(1, 4).shift();
+    }
+
+    #[test]
+    fn clear_then_quiet() {
+        let mut regs = RegFile::new(2, 4);
+        regs.push_round(&[true, true]).unwrap();
+        regs.clear(0, 0);
+        assert!(regs.unit_quiet(0));
+        assert!(!regs.unit_quiet(1));
+        assert!(!regs.layer_zero_clear());
+        regs.clear(1, 0);
+        assert!(regs.layer_zero_clear());
+        assert!(regs.all_clear());
+    }
+
+    #[test]
+    fn first_event_scans_oldest_first() {
+        let mut regs = RegFile::new(1, 7);
+        regs.push_round(&[false]).unwrap();
+        regs.push_round(&[true]).unwrap();
+        regs.push_round(&[false]).unwrap();
+        regs.push_round(&[true]).unwrap();
+        assert_eq!(regs.first_event_at_or_after(0, 0), Some(1));
+        assert_eq!(regs.first_event_at_or_after(0, 1), Some(1));
+        assert_eq!(regs.first_event_at_or_after(0, 2), Some(3));
+        assert_eq!(regs.first_event_at_or_after(0, 4), None);
+        regs.clear(0, 1);
+        assert_eq!(regs.first_event_at_or_after(0, 0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RegFile::new(1, 0);
+    }
+
+    #[test]
+    fn seven_bit_reg_matches_paper_capacity() {
+        let mut regs = RegFile::new(1, 7);
+        for _ in 0..7 {
+            regs.push_round(&[false]).unwrap();
+        }
+        assert!(regs.push_round(&[false]).is_err());
+    }
+
+    proptest! {
+        /// Pushing then shifting layer-by-layer preserves the event stream
+        /// (a FIFO law).
+        #[test]
+        fn prop_fifo_law(rounds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 3), 1..8)
+        ) {
+            let mut regs = RegFile::new(3, 8);
+            for r in &rounds {
+                regs.push_round(r).unwrap();
+            }
+            for r in &rounds {
+                for (u, &fired) in r.iter().enumerate() {
+                    prop_assert_eq!(regs.get(u, 0), fired);
+                    if fired {
+                        regs.clear(u, 0);
+                    }
+                }
+                regs.shift();
+            }
+            prop_assert!(regs.all_clear());
+        }
+
+        /// `first_event_at_or_after` agrees with a naive scan.
+        #[test]
+        fn prop_first_event_matches_naive(
+            bits in proptest::collection::vec(any::<bool>(), 1..8),
+            from in 0usize..8,
+        ) {
+            let mut regs = RegFile::new(1, 8);
+            for &b in &bits {
+                regs.push_round(&[b]).unwrap();
+            }
+            let naive = bits
+                .iter()
+                .enumerate()
+                .skip(from.min(bits.len()))
+                .find_map(|(t, &b)| b.then_some(t));
+            prop_assert_eq!(regs.first_event_at_or_after(0, from), naive);
+        }
+    }
+}

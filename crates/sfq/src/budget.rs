@@ -1,0 +1,160 @@
+//! Dilution-refrigerator power-budget analysis (Tables IV & V).
+//!
+//! The 4-K stage of a dilution refrigerator affords roughly 1 W of
+//! dissipation (Hornibrook et al. \[12\]); the paper's punch line is how many
+//! distance-9 logical qubits each decoder design can protect inside that
+//! budget. This module holds the budget arithmetic and the analytic model
+//! of the AQEC (NISQ+) comparator \[11\] used in Table V.
+
+use crate::power::ersfq_power_w;
+use serde::{Deserialize, Serialize};
+
+/// Power budget of the 4-K stage, in watts (paper §V-D, \[12\]).
+pub const POWER_BUDGET_4K_W: f64 = 1.0;
+
+/// Number of QECOOL hardware Units per logical qubit: `2 d (d − 1)`
+/// (both error sectors of a distance-`d` code, §IV-A).
+pub fn qecool_units_per_logical_qubit(d: usize) -> usize {
+    2 * d * (d - 1)
+}
+
+/// Number of AQEC hardware units per logical qubit: `(2d − 1)²`
+/// (Table V, from the NISQ+ paper's hardware grid).
+pub fn aqec_units_per_logical_qubit(d: usize) -> usize {
+    (2 * d - 1) * (2 * d - 1)
+}
+
+/// The paper's assumption for extending AQEC to 3-D matching: 7× the 2-D
+/// module count (§V-D, "extending AQEC to 3-D requires 7 times the
+/// modules needed for 2-D processing").
+pub const AQEC_3D_MODULE_FACTOR: f64 = 7.0;
+
+/// AQEC per-unit power from Table V, in watts (13.44 µW).
+pub const AQEC_UNIT_POWER_W: f64 = 13.44e-6;
+
+/// How many logical qubits fit in `budget_w` when each needs
+/// `units_per_lq` units of `unit_power_w` each.
+///
+/// # Panics
+///
+/// Panics when the per-qubit power is non-positive.
+pub fn protectable_logical_qubits(budget_w: f64, unit_power_w: f64, units_per_lq: usize) -> usize {
+    let per_lq = unit_power_w * units_per_lq as f64;
+    assert!(per_lq > 0.0, "per-logical-qubit power must be positive");
+    (budget_w / per_lq).floor() as usize
+}
+
+/// One decoder column of Table V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecoderBudget {
+    /// Decoder name.
+    pub name: String,
+    /// Power per hardware unit, in watts.
+    pub unit_power_w: f64,
+    /// Hardware units required per logical qubit (including any 3-D
+    /// extension factor).
+    pub effective_units_per_lq: f64,
+    /// Whether the architecture natively handles the 3-D lattice.
+    pub directly_3d: bool,
+}
+
+impl DecoderBudget {
+    /// QECOOL at distance `d`, clocked at `frequency_hz`, with the paper's
+    /// 336 mA Unit bias (Table II).
+    pub fn qecool(d: usize, frequency_hz: f64) -> Self {
+        Self {
+            name: "QECOOL (7-bit Reg)".to_owned(),
+            unit_power_w: ersfq_power_w(336.0, frequency_hz),
+            effective_units_per_lq: qecool_units_per_logical_qubit(d) as f64,
+            directly_3d: true,
+        }
+    }
+
+    /// AQEC (NISQ+) at distance `d`; `extend_to_3d` applies the paper's 7×
+    /// module assumption.
+    pub fn aqec(d: usize, extend_to_3d: bool) -> Self {
+        let factor = if extend_to_3d { AQEC_3D_MODULE_FACTOR } else { 1.0 };
+        Self {
+            name: "AQEC".to_owned(),
+            unit_power_w: AQEC_UNIT_POWER_W,
+            effective_units_per_lq: aqec_units_per_logical_qubit(d) as f64 * factor,
+            directly_3d: false,
+        }
+    }
+
+    /// Power drawn per logical qubit, in watts.
+    pub fn power_per_logical_qubit_w(&self) -> f64 {
+        self.unit_power_w * self.effective_units_per_lq
+    }
+
+    /// Protectable logical qubits within the 4-K budget.
+    pub fn protectable_qubits(&self) -> usize {
+        (POWER_BUDGET_4K_W / self.power_per_logical_qubit_w()).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qecool_unit_count_matches_paper() {
+        // d = 9: 2 * 9 * 8 = 144 Units per logical qubit.
+        assert_eq!(qecool_units_per_logical_qubit(9), 144);
+        assert_eq!(qecool_units_per_logical_qubit(5), 40);
+    }
+
+    #[test]
+    fn aqec_unit_count_matches_paper() {
+        // d = 9: (2*9-1)^2 = 289.
+        assert_eq!(aqec_units_per_logical_qubit(9), 289);
+    }
+
+    #[test]
+    fn qecool_protects_about_2500_logical_qubits() {
+        // Paper Table V: 2498 protectable logical qubits at d = 9, 2 GHz.
+        let b = DecoderBudget::qecool(9, 2.0e9);
+        let n = b.protectable_qubits();
+        assert!(
+            (2490..=2505).contains(&n),
+            "expected ~2498 protectable qubits, got {n}"
+        );
+        assert!(b.directly_3d);
+    }
+
+    #[test]
+    fn aqec_protects_about_37_logical_qubits() {
+        // Paper Table V: 37, using the 7x 3-D extension assumption.
+        let b = DecoderBudget::aqec(9, true);
+        let n = b.protectable_qubits();
+        assert!((35..=38).contains(&n), "expected ~37, got {n}");
+        assert!(!b.directly_3d);
+    }
+
+    #[test]
+    fn qecool_beats_aqec_by_orders_of_magnitude() {
+        let q = DecoderBudget::qecool(9, 2.0e9).protectable_qubits();
+        let a = DecoderBudget::aqec(9, true).protectable_qubits();
+        assert!(q > 50 * a, "QECOOL {q} vs AQEC {a}");
+    }
+
+    #[test]
+    fn lower_clock_protects_more_qubits() {
+        // ERSFQ power is dynamic, so halving the clock doubles the count.
+        let fast = DecoderBudget::qecool(9, 2.0e9).protectable_qubits();
+        let slow = DecoderBudget::qecool(9, 1.0e9).protectable_qubits();
+        assert!(slow >= 2 * fast - 1, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn protectable_helper_floor_behaviour() {
+        assert_eq!(protectable_logical_qubits(1.0, 0.1, 2), 5);
+        assert_eq!(protectable_logical_qubits(1.0, 0.3, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_power() {
+        protectable_logical_qubits(1.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! The RSFQ cell library of Table I.
+//!
+//! The paper designs the QECOOL Unit against an RSFQ cell library \[22\]
+//! (AIST 10-kA/cm² ADP, niobium nine-layer 1.0 µm process \[9\], \[15\]).
+//! Table I publishes, for each logic element, the Josephson-junction (JJ)
+//! count, bias current, cell area and latency; every hardware rollup in
+//! this crate derives from these numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The SFQ logic elements of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Pulse splitter (1 input → 2 outputs).
+    Splitter,
+    /// Confluence buffer / merger (2 inputs → 1 output).
+    Merger,
+    /// 1:2 switch (routes a pulse to one of two outputs).
+    Switch12,
+    /// Destructive readout register (DRO).
+    Dro,
+    /// Non-destructive readout register (NDRO).
+    Ndro,
+    /// Resettable DRO (RD).
+    ResettableDro,
+    /// Dual-output DRO (D2): complementary outputs on clock.
+    DualOutputDro,
+}
+
+impl CellKind {
+    /// All cell kinds in Table I row order.
+    pub const ALL: [CellKind; 7] = [
+        CellKind::Splitter,
+        CellKind::Merger,
+        CellKind::Switch12,
+        CellKind::Dro,
+        CellKind::Ndro,
+        CellKind::ResettableDro,
+        CellKind::DualOutputDro,
+    ];
+
+    /// The Table I row for this cell.
+    pub fn params(self) -> CellParams {
+        match self {
+            CellKind::Splitter => CellParams::new(3, 0.300, 900.0, 4.3),
+            CellKind::Merger => CellParams::new(7, 0.880, 900.0, 8.2),
+            CellKind::Switch12 => CellParams::new(33, 3.464, 8100.0, 10.5),
+            CellKind::Dro => CellParams::new(6, 0.720, 900.0, 5.1),
+            CellKind::Ndro => CellParams::new(11, 1.112, 1800.0, 6.4),
+            CellKind::ResettableDro => CellParams::new(11, 0.900, 1800.0, 6.0),
+            CellKind::DualOutputDro => CellParams::new(12, 0.944, 1800.0, 6.8),
+        }
+    }
+
+    /// The cell name as printed in Table I.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            CellKind::Splitter => "splitter",
+            CellKind::Merger => "merger",
+            CellKind::Switch12 => "1:2 switch",
+            CellKind::Dro => "destructive readout (DRO)",
+            CellKind::Ndro => "nondestructive readout (NDRO)",
+            CellKind::ResettableDro => "resettable DRO (RD)",
+            CellKind::DualOutputDro => "dual-output DRO (D2)",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.table_name())
+    }
+}
+
+/// Physical parameters of one SFQ cell (one Table I row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellParams {
+    /// Josephson junction count.
+    pub jjs: u32,
+    /// Bias current in milliamperes.
+    pub bias_ma: f64,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Propagation latency in picoseconds.
+    pub latency_ps: f64,
+}
+
+impl CellParams {
+    /// Creates a parameter record.
+    pub fn new(jjs: u32, bias_ma: f64, area_um2: f64, latency_ps: f64) -> Self {
+        Self {
+            jjs,
+            bias_ma,
+            area_um2,
+            latency_ps,
+        }
+    }
+}
+
+/// Designed RSFQ supply voltage (2.5 mV, §IV-C).
+pub const RSFQ_SUPPLY_MV: f64 = 2.5;
+
+/// Operating temperature of the decoder stage (4 K, §IV-C).
+pub const OPERATING_TEMPERATURE_K: f64 = 4.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_paper() {
+        // Spot-check every published value of Table I.
+        let s = CellKind::Splitter.params();
+        assert_eq!((s.jjs, s.bias_ma, s.area_um2, s.latency_ps), (3, 0.300, 900.0, 4.3));
+        let m = CellKind::Merger.params();
+        assert_eq!((m.jjs, m.bias_ma, m.area_um2, m.latency_ps), (7, 0.880, 900.0, 8.2));
+        let sw = CellKind::Switch12.params();
+        assert_eq!((sw.jjs, sw.bias_ma, sw.area_um2, sw.latency_ps), (33, 3.464, 8100.0, 10.5));
+        let d = CellKind::Dro.params();
+        assert_eq!((d.jjs, d.bias_ma, d.area_um2, d.latency_ps), (6, 0.720, 900.0, 5.1));
+        let n = CellKind::Ndro.params();
+        assert_eq!((n.jjs, n.bias_ma, n.area_um2, n.latency_ps), (11, 1.112, 1800.0, 6.4));
+        let r = CellKind::ResettableDro.params();
+        assert_eq!((r.jjs, r.bias_ma, r.area_um2, r.latency_ps), (11, 0.900, 1800.0, 6.0));
+        let d2 = CellKind::DualOutputDro.params();
+        assert_eq!((d2.jjs, d2.bias_ma, d2.area_um2, d2.latency_ps), (12, 0.944, 1800.0, 6.8));
+    }
+
+    #[test]
+    fn all_covers_every_kind_once() {
+        assert_eq!(CellKind::ALL.len(), 7);
+        let mut names: Vec<&str> = CellKind::ALL.iter().map(|c| c.table_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn display_matches_table_name() {
+        assert_eq!(CellKind::Switch12.to_string(), "1:2 switch");
+    }
+}

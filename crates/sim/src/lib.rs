@@ -1,0 +1,47 @@
+//! Quantum error simulator and Monte-Carlo harness for the QECOOL
+//! reproduction.
+//!
+//! This crate ties the substrates together into the experiments the paper
+//! reports:
+//!
+//! * [`trials`] — one fault-tolerant memory experiment per decoder
+//!   (batch-QECOOL, on-line QECOOL with a cycle budget, exact MWPM), with
+//!   phenomenological or code-capacity noise;
+//! * [`montecarlo`] — reproducible multi-threaded trial campaigns;
+//! * [`stats`] — binomial rate estimates (Wilson intervals) and streaming
+//!   cycle aggregates;
+//! * [`threshold`] — accuracy-threshold (`p_th`) estimation from curve
+//!   crossings, the quantity Figs. 4(a) and 7 report;
+//! * [`experiments`] — the `(d × p)` sweep drivers the benchmark binaries
+//!   build on;
+//! * [`dual_sector`] — both-sector (X *and* Z) logical-qubit trials,
+//!   exploiting the paper's mirror-symmetry argument (§IV footnote 3).
+//!
+//! # Example
+//!
+//! ```
+//! use qecool_sim::montecarlo::run_monte_carlo;
+//! use qecool_sim::trials::{DecoderKind, TrialConfig};
+//!
+//! // 30 shots of a d = 3 memory experiment at p = 0.5% under batch-QECOOL.
+//! let cfg = TrialConfig::standard(3, 0.005, DecoderKind::BatchQecool);
+//! let result = run_monte_carlo(&cfg, 30, 42);
+//! println!("logical error rate: {}", result.logical_error_rate());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dual_sector;
+pub mod experiments;
+pub mod montecarlo;
+pub mod stats;
+pub mod threshold;
+pub mod trials;
+
+pub use dual_sector::{dual_sector_error_rate, run_dual_sector_trial, DualSectorOutcome};
+pub use experiments::{log_grid, sweep, Sweep, SweepPoint};
+pub use montecarlo::{run_monte_carlo, McResult};
+pub use stats::{CycleAggregate, RateEstimate};
+pub use threshold::{estimate_threshold, Curve, ThresholdEstimate};
+pub use trials::{run_trial, DecoderKind, NoiseKind, TrialConfig, TrialOutcome};

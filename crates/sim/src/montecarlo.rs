@@ -1,0 +1,167 @@
+//! Parallel Monte-Carlo execution of trials.
+
+use crate::stats::{CycleAggregate, RateEstimate};
+use crate::trials::{run_trial, TrialConfig};
+use parking_lot::Mutex;
+
+/// Aggregated result of a Monte-Carlo campaign at one parameter point.
+#[derive(Debug, Clone, Default)]
+pub struct McResult {
+    /// Trials executed.
+    pub shots: usize,
+    /// Trials that ended in a logical error (including overflows).
+    pub failures: usize,
+    /// Trials that failed specifically by register overflow.
+    pub overflows: usize,
+    /// Aggregate of all per-layer decode cycle counts.
+    pub layer_cycles: CycleAggregate,
+    /// Summed histogram of match vertical extents.
+    pub vertical_hist: Vec<u64>,
+    /// Total matches across all trials.
+    pub matches: u64,
+}
+
+impl McResult {
+    /// Logical error rate estimate.
+    pub fn logical_error_rate(&self) -> RateEstimate {
+        RateEstimate::new(self.failures, self.shots)
+    }
+
+    /// Overflow rate estimate.
+    pub fn overflow_rate(&self) -> RateEstimate {
+        RateEstimate::new(self.overflows, self.shots)
+    }
+
+    /// Fraction of matches with vertical extent ≥ `min_dt` (Fig. 4(b)).
+    pub fn vertical_extent_fraction(&self, min_dt: usize) -> f64 {
+        if self.matches == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .vertical_hist
+            .iter()
+            .skip(min_dt)
+            .sum();
+        hits as f64 / self.matches as f64
+    }
+
+    fn absorb(&mut self, outcome: &crate::trials::TrialOutcome) {
+        self.shots += 1;
+        self.failures += usize::from(outcome.logical_error);
+        self.overflows += usize::from(outcome.overflow);
+        for &c in &outcome.layer_cycles {
+            self.layer_cycles.push(c);
+        }
+        if self.vertical_hist.len() < outcome.vertical_hist.len() {
+            self.vertical_hist.resize(outcome.vertical_hist.len(), 0);
+        }
+        for (acc, &x) in self.vertical_hist.iter_mut().zip(&outcome.vertical_hist) {
+            *acc += x as u64;
+        }
+        self.matches += outcome.matches as u64;
+    }
+
+    fn merge(&mut self, other: McResult) {
+        self.shots += other.shots;
+        self.failures += other.failures;
+        self.overflows += other.overflows;
+        self.layer_cycles.merge(&other.layer_cycles);
+        if self.vertical_hist.len() < other.vertical_hist.len() {
+            self.vertical_hist.resize(other.vertical_hist.len(), 0);
+        }
+        for (acc, &x) in self.vertical_hist.iter_mut().zip(&other.vertical_hist) {
+            *acc += x;
+        }
+        self.matches += other.matches;
+    }
+}
+
+/// Runs `shots` independent trials of `cfg` across all available CPU
+/// cores. Trial `i` uses seed `base_seed + i`, so results are reproducible
+/// regardless of thread scheduling.
+///
+/// # Example
+///
+/// ```
+/// use qecool_sim::montecarlo::run_monte_carlo;
+/// use qecool_sim::trials::{DecoderKind, TrialConfig};
+///
+/// let cfg = TrialConfig::standard(3, 0.01, DecoderKind::BatchQecool);
+/// let result = run_monte_carlo(&cfg, 20, 0);
+/// assert_eq!(result.shots, 20);
+/// ```
+pub fn run_monte_carlo(cfg: &TrialConfig, shots: usize, base_seed: u64) -> McResult {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(shots.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let total = Mutex::new(McResult::default());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local = McResult::default();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= shots {
+                        break;
+                    }
+                    let outcome = run_trial(cfg, base_seed + i as u64);
+                    local.absorb(&outcome);
+                }
+                total.lock().merge(local);
+            });
+        }
+    })
+    .expect("monte carlo worker panicked");
+
+    total.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trials::DecoderKind;
+
+    #[test]
+    fn zero_noise_yields_zero_failures() {
+        let cfg = TrialConfig::standard(3, 0.0, DecoderKind::BatchQecool);
+        let r = run_monte_carlo(&cfg, 50, 1);
+        assert_eq!(r.shots, 50);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.logical_error_rate().rate(), 0.0);
+        // Each trial retires rounds + 1 layers.
+        assert_eq!(r.layer_cycles.count, 50 * 4);
+    }
+
+    #[test]
+    fn results_reproducible_across_runs() {
+        let cfg = TrialConfig::standard(5, 0.03, DecoderKind::BatchQecool);
+        let a = run_monte_carlo(&cfg, 60, 7);
+        let b = run_monte_carlo(&cfg, 60, 7);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.layer_cycles, b.layer_cycles);
+    }
+
+    #[test]
+    fn high_noise_fails_often() {
+        let cfg = TrialConfig::standard(3, 0.2, DecoderKind::BatchQecool);
+        let r = run_monte_carlo(&cfg, 60, 3);
+        assert!(
+            r.failures > 10,
+            "expected many failures at p = 0.2, got {}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn vertical_fraction_sums_to_one_at_zero() {
+        let cfg = TrialConfig::standard(5, 0.05, DecoderKind::BatchQecool);
+        let r = run_monte_carlo(&cfg, 30, 11);
+        assert!(r.matches > 0);
+        assert!((r.vertical_extent_fraction(0) - 1.0).abs() < 1e-12);
+        assert!(r.vertical_extent_fraction(3) <= r.vertical_extent_fraction(2));
+    }
+}

@@ -1,0 +1,223 @@
+//! Statistics for Monte-Carlo rate estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// A binomial rate estimate with uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimate {
+    /// Number of successes (e.g. logical failures).
+    pub hits: usize,
+    /// Number of trials.
+    pub shots: usize,
+}
+
+impl RateEstimate {
+    /// Creates an estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > shots`.
+    pub fn new(hits: usize, shots: usize) -> Self {
+        assert!(hits <= shots, "hits {hits} > shots {shots}");
+        Self { hits, shots }
+    }
+
+    /// Point estimate `hits / shots` (0 when no shots were taken).
+    pub fn rate(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.shots as f64
+        }
+    }
+
+    /// Binomial standard error of the point estimate.
+    pub fn std_err(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let p = self.rate();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Wilson score interval at ~95% confidence (`z = 1.96`).
+    ///
+    /// Well-behaved even when `hits` is 0 or equals `shots`, unlike the
+    /// normal approximation — important for the deep-suppression points of
+    /// Fig. 4(a) where failures are rare.
+    pub fn wilson_interval(&self) -> (f64, f64) {
+        if self.shots == 0 {
+            return (0.0, 1.0);
+        }
+        let z = 1.96f64;
+        let n = self.shots as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl std::fmt::Display for RateEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} ({}/{})", self.rate(), self.hits, self.shots)
+    }
+}
+
+/// Streaming aggregate of cycle counts (per-layer execution cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleAggregate {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Sum of squared samples.
+    pub sum_sq: u128,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl CycleAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: u64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += u128::from(x) * u128::from(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &CycleAggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (0 when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ex2 = self.sum_sq as f64 / self.count as f64;
+        (ex2 - mean * mean).max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_basics() {
+        let r = RateEstimate::new(5, 100);
+        assert_eq!(r.rate(), 0.05);
+        assert!(r.std_err() > 0.0);
+        assert!(r.to_string().contains("5/100"));
+    }
+
+    #[test]
+    fn empty_estimate() {
+        let r = RateEstimate::new(0, 0);
+        assert_eq!(r.rate(), 0.0);
+        assert_eq!(r.std_err(), 0.0);
+        assert_eq!(r.wilson_interval(), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "hits")]
+    fn rejects_more_hits_than_shots() {
+        RateEstimate::new(2, 1);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        for (h, n) in [(0, 50), (1, 50), (25, 50), (50, 50)] {
+            let r = RateEstimate::new(h, n);
+            let (lo, hi) = r.wilson_interval();
+            assert!(lo <= r.rate() + 1e-12 && r.rate() <= hi + 1e-12, "{h}/{n}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_zero_hits_has_positive_upper_bound() {
+        let (lo, hi) = RateEstimate::new(0, 100).wilson_interval();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn cycle_aggregate_matches_direct_computation() {
+        let mut agg = CycleAggregate::new();
+        let data = [3u64, 7, 1, 9, 4];
+        for &x in &data {
+            agg.push(x);
+        }
+        let mean = data.iter().sum::<u64>() as f64 / data.len() as f64;
+        assert!((agg.mean() - mean).abs() < 1e-12);
+        assert_eq!(agg.max, 9);
+        assert_eq!(agg.count, 5);
+        let var =
+            data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((agg.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let mut a = CycleAggregate::new();
+        let mut b = CycleAggregate::new();
+        let mut whole = CycleAggregate::new();
+        for x in 0..10u64 {
+            if x % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wilson_is_monotone_in_hits(n in 1usize..200, h in 0usize..200) {
+            let h = h.min(n);
+            let r1 = RateEstimate::new(h, n);
+            if h < n {
+                let r2 = RateEstimate::new(h + 1, n);
+                prop_assert!(r2.wilson_interval().0 >= r1.wilson_interval().0 - 1e-12);
+                prop_assert!(r2.wilson_interval().1 >= r1.wilson_interval().1 - 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_aggregate_std_nonnegative(xs in proptest::collection::vec(0u64..10_000, 0..50)) {
+            let mut agg = CycleAggregate::new();
+            for &x in &xs {
+                agg.push(x);
+            }
+            prop_assert!(agg.std_dev() >= 0.0);
+            prop_assert!(agg.mean() <= agg.max as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Single-trial definitions: one fault-tolerant memory experiment per
+//! decoder.
+//!
+//! A trial prepares a clean distance-`d` patch, runs `rounds` noisy QEC
+//! rounds (phenomenological noise: data *and* measurement errors at rate
+//! `p`), closes the window with one perfect measurement round — the
+//! standard memory-experiment termination — decodes with the configured
+//! decoder, and reports whether the residual error implements a logical
+//! operator. For on-line QECOOL the decode work is interleaved with the
+//! measurements under a per-layer cycle budget, and register overflow
+//! counts as a failure (paper §V-B).
+
+use qecool::{QecoolConfig, QecoolDecoder, DEFAULT_BOUNDARY_PENALTY};
+use qecool_mwpm::MwpmDecoder;
+use qecool_uf::UnionFindDecoder;
+use qecool_surface_code::{
+    CodeCapacityNoise, CodePatch, Lattice, NoiseModel, PhenomenologicalNoise, SyndromeHistory,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which decoder a trial exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecoderKind {
+    /// Batch-QECOOL (§III-C): decode once after the full window.
+    BatchQecool,
+    /// On-line QECOOL (§III-B) with a per-layer cycle budget
+    /// (`frequency × 1 µs`) and the paper's 7-bit register / `th_v = 3`.
+    OnlineQecool {
+        /// Decode cycles available per measurement interval.
+        budget_cycles: u64,
+    },
+    /// The exact MWPM baseline (Fowler \[7\]).
+    Mwpm,
+    /// The union-find baseline (Delfosse–Nickerson \[3\], Table IV).
+    UnionFind,
+}
+
+/// Noise model selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NoiseKind {
+    /// Data + measurement errors at equal rate `p` (the paper's 3-D
+    /// setting).
+    Phenomenological,
+    /// Data errors only (the "2-D" threshold setting of Table IV).
+    CodeCapacity,
+}
+
+/// Full configuration of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialConfig {
+    /// Code distance.
+    pub d: usize,
+    /// Physical error rate `p`.
+    pub p: f64,
+    /// Number of noisy measurement rounds (the paper uses `d`).
+    pub rounds: usize,
+    /// Decoder under test.
+    pub decoder: DecoderKind,
+    /// Noise model.
+    pub noise: NoiseKind,
+    /// Extra hops charged to Boundary-Unit spikes (QECOOL decoders only;
+    /// the paper's design de-prioritizes boundaries, footnote 1).
+    pub boundary_penalty: u64,
+}
+
+impl TrialConfig {
+    /// The paper's standard 3-D memory experiment: `d` noisy rounds of
+    /// phenomenological noise.
+    pub fn standard(d: usize, p: f64, decoder: DecoderKind) -> Self {
+        Self {
+            d,
+            p,
+            rounds: d,
+            decoder,
+            noise: NoiseKind::Phenomenological,
+            boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+        }
+    }
+
+    /// The 2-D (code-capacity) setting: one perfectly measured round.
+    pub fn code_capacity(d: usize, p: f64, decoder: DecoderKind) -> Self {
+        Self {
+            d,
+            p,
+            rounds: 1,
+            decoder,
+            noise: NoiseKind::CodeCapacity,
+            boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+        }
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone, Default)]
+pub struct TrialOutcome {
+    /// The residual error after decoding implements a logical X (or the
+    /// trial failed by overflow).
+    pub logical_error: bool,
+    /// The trial failed because the on-line decoder's register overflowed.
+    pub overflow: bool,
+    /// Per-layer decode cycle counts (QECOOL decoders only).
+    pub layer_cycles: Vec<u64>,
+    /// Histogram of match vertical extents: `hist[dt]` = matches spanning
+    /// `dt` time layers.
+    pub vertical_hist: Vec<usize>,
+    /// Total matches performed.
+    pub matches: usize,
+}
+
+/// Runs one trial with a deterministic seed.
+///
+/// # Panics
+///
+/// Panics if `cfg.d` is not a valid code distance.
+pub fn run_trial(cfg: &TrialConfig, seed: u64) -> TrialOutcome {
+    let lattice = Lattice::new(cfg.d).expect("valid code distance");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut patch = CodePatch::new(lattice.clone());
+    match cfg.noise {
+        NoiseKind::Phenomenological => {
+            let noise = PhenomenologicalNoise::symmetric(cfg.p);
+            run_with_noise(cfg, lattice, &mut patch, &noise, &mut rng)
+        }
+        NoiseKind::CodeCapacity => {
+            let noise = CodeCapacityNoise::new(cfg.p);
+            run_with_noise(cfg, lattice, &mut patch, &noise, &mut rng)
+        }
+    }
+}
+
+fn run_with_noise<N: NoiseModel>(
+    cfg: &TrialConfig,
+    lattice: Lattice,
+    patch: &mut CodePatch,
+    noise: &N,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    match cfg.decoder {
+        DecoderKind::Mwpm => run_mwpm(cfg, lattice, patch, noise, rng),
+        DecoderKind::UnionFind => run_union_find(cfg, lattice, patch, noise, rng),
+        DecoderKind::BatchQecool => run_batch_qecool(cfg, lattice, patch, noise, rng),
+        DecoderKind::OnlineQecool { budget_cycles } => {
+            run_online_qecool(cfg, lattice, patch, noise, rng, budget_cycles)
+        }
+    }
+}
+
+fn finish(patch: &CodePatch) -> TrialOutcome {
+    debug_assert!(
+        patch.syndrome_is_trivial(),
+        "decoder left residual syndrome"
+    );
+    TrialOutcome {
+        logical_error: patch.has_logical_error(),
+        ..TrialOutcome::default()
+    }
+}
+
+fn run_mwpm<N: NoiseModel>(
+    cfg: &TrialConfig,
+    lattice: Lattice,
+    patch: &mut CodePatch,
+    noise: &N,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    let mut history = SyndromeHistory::new(lattice.clone());
+    for _ in 0..cfg.rounds {
+        history.push(patch.noisy_round(noise, rng));
+    }
+    history.push(patch.perfect_round());
+    let decoder = MwpmDecoder::new(lattice);
+    let outcome = decoder.decode(&history).expect("doubled graph is matchable");
+    outcome.apply(patch);
+    let mut result = finish(patch);
+    result.matches = outcome.matches.len();
+    for m in &outcome.matches {
+        let dt = m.vertical_extent();
+        if result.vertical_hist.len() <= dt {
+            result.vertical_hist.resize(dt + 1, 0);
+        }
+        result.vertical_hist[dt] += 1;
+    }
+    result
+}
+
+fn run_union_find<N: NoiseModel>(
+    cfg: &TrialConfig,
+    lattice: Lattice,
+    patch: &mut CodePatch,
+    noise: &N,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    let mut history = SyndromeHistory::new(lattice.clone());
+    for _ in 0..cfg.rounds {
+        history.push(patch.noisy_round(noise, rng));
+    }
+    history.push(patch.perfect_round());
+    let outcome = UnionFindDecoder::new(lattice).decode(&history);
+    outcome.apply(patch);
+    let mut result = finish(patch);
+    result.matches = outcome.corrections.len();
+    result
+}
+
+fn run_batch_qecool<N: NoiseModel>(
+    cfg: &TrialConfig,
+    lattice: Lattice,
+    patch: &mut CodePatch,
+    noise: &N,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    let config = QecoolConfig::batch(cfg.rounds + 1).with_boundary_penalty(cfg.boundary_penalty);
+    let mut decoder = QecoolDecoder::new(lattice, config);
+    for _ in 0..cfg.rounds {
+        let round = patch.noisy_round(noise, rng);
+        decoder
+            .push_round(&round)
+            .expect("batch capacity covers the window");
+    }
+    let closing = patch.perfect_round();
+    decoder
+        .push_round(&closing)
+        .expect("batch capacity covers the window");
+    let report = decoder.drain();
+    patch.apply_corrections(report.corrections.iter().copied());
+    let mut result = finish(patch);
+    fill_qecool_telemetry(&mut result, &decoder);
+    result
+}
+
+fn run_online_qecool<N: NoiseModel>(
+    cfg: &TrialConfig,
+    lattice: Lattice,
+    patch: &mut CodePatch,
+    noise: &N,
+    rng: &mut ChaCha8Rng,
+    budget_cycles: u64,
+) -> TrialOutcome {
+    let config = QecoolConfig::online().with_boundary_penalty(cfg.boundary_penalty);
+    let mut decoder = QecoolDecoder::new(lattice, config);
+    for _ in 0..cfg.rounds {
+        let round = patch.noisy_round(noise, rng);
+        if decoder.push_round(&round).is_err() {
+            return overflow_outcome(&decoder);
+        }
+        let report = decoder.run(Some(budget_cycles));
+        patch.apply_corrections(report.corrections.iter().copied());
+    }
+    let closing = patch.perfect_round();
+    if decoder.push_round(&closing).is_err() {
+        return overflow_outcome(&decoder);
+    }
+    let report = decoder.drain();
+    patch.apply_corrections(report.corrections.iter().copied());
+    let mut result = finish(patch);
+    fill_qecool_telemetry(&mut result, &decoder);
+    result
+}
+
+fn overflow_outcome(decoder: &QecoolDecoder) -> TrialOutcome {
+    let mut result = TrialOutcome {
+        logical_error: true,
+        overflow: true,
+        ..TrialOutcome::default()
+    };
+    fill_qecool_telemetry(&mut result, decoder);
+    result
+}
+
+fn fill_qecool_telemetry(result: &mut TrialOutcome, decoder: &QecoolDecoder) {
+    result.layer_cycles = decoder.stats().layer_cycles().to_vec();
+    result.vertical_hist = decoder.stats().vertical_extent_histogram();
+    result.matches = decoder.stats().matches().len();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_never_fails() {
+        for decoder in [
+            DecoderKind::BatchQecool,
+            DecoderKind::Mwpm,
+            DecoderKind::OnlineQecool { budget_cycles: 2000 },
+        ] {
+            let cfg = TrialConfig::standard(5, 0.0, decoder);
+            for seed in 0..5 {
+                let out = run_trial(&cfg, seed);
+                assert!(!out.logical_error, "{decoder:?} seed {seed}");
+                assert!(!out.overflow);
+            }
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let cfg = TrialConfig::standard(5, 0.02, DecoderKind::BatchQecool);
+        let a = run_trial(&cfg, 42);
+        let b = run_trial(&cfg, 42);
+        assert_eq!(a.logical_error, b.logical_error);
+        assert_eq!(a.layer_cycles, b.layer_cycles);
+        assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn different_decoders_share_the_same_error_stream() {
+        // Same seed => same noise realization; MWPM should fail no more
+        // often than QECOOL over a small ensemble.
+        let mut q_fail = 0;
+        let mut m_fail = 0;
+        for seed in 0..40 {
+            let q = run_trial(&TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool), seed);
+            let m = run_trial(&TrialConfig::standard(5, 0.04, DecoderKind::Mwpm), seed);
+            q_fail += usize::from(q.logical_error);
+            m_fail += usize::from(m.logical_error);
+        }
+        assert!(m_fail <= q_fail + 3, "MWPM {m_fail} vs QECOOL {q_fail}");
+    }
+
+    #[test]
+    fn online_matches_batch_at_generous_budget_and_low_noise() {
+        // With an enormous budget the on-line decoder never overflows and
+        // behaves like a (greedier) batch decoder on sparse errors.
+        let cfg = TrialConfig::standard(
+            5,
+            0.005,
+            DecoderKind::OnlineQecool {
+                budget_cycles: 1_000_000,
+            },
+        );
+        let mut overflows = 0;
+        for seed in 0..30 {
+            let out = run_trial(&cfg, seed);
+            overflows += usize::from(out.overflow);
+        }
+        assert_eq!(overflows, 0);
+    }
+
+    #[test]
+    fn tiny_budget_causes_overflow_at_high_noise() {
+        let cfg = TrialConfig {
+            d: 9,
+            p: 0.02,
+            rounds: 9,
+            decoder: DecoderKind::OnlineQecool { budget_cycles: 5 },
+            noise: NoiseKind::Phenomenological,
+            boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+        };
+        let overflows: usize = (0..20)
+            .map(|s| usize::from(run_trial(&cfg, s).overflow))
+            .sum();
+        assert!(overflows > 10, "expected frequent overflow, got {overflows}/20");
+    }
+
+    #[test]
+    fn code_capacity_trials_have_single_round() {
+        let cfg = TrialConfig::code_capacity(5, 0.05, DecoderKind::BatchQecool);
+        assert_eq!(cfg.rounds, 1);
+        let out = run_trial(&cfg, 3);
+        // One closing layer + the noisy layer = 2 retired layers.
+        assert_eq!(out.layer_cycles.len(), 2);
+    }
+
+    #[test]
+    fn qecool_telemetry_is_populated() {
+        let cfg = TrialConfig::standard(5, 0.05, DecoderKind::BatchQecool);
+        let out = run_trial(&cfg, 7);
+        assert_eq!(out.layer_cycles.len(), cfg.rounds + 1);
+        // At p = 0.05 on d = 5 some matches almost surely happened.
+        assert!(out.matches > 0);
+        assert!(!out.vertical_hist.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! A compact, fixed-length bit vector used for error states and syndromes.
+//!
+//! The simulator manipulates Pauli-error indicator vectors (one bit per data
+//! qubit) and syndrome vectors (one bit per ancilla) in tight Monte-Carlo
+//! loops. [`BitVec`] packs them into `u64` words and provides the XOR/parity
+//! operations the surface-code algebra needs.
+
+use std::fmt;
+use std::ops::BitXorAssign;
+
+/// A fixed-length vector of bits packed into `u64` words.
+///
+/// Unlike `Vec<bool>`, XOR and population count operate a word at a time,
+/// which is what the Monte-Carlo inner loops in
+/// [`CodePatch`](crate::CodePatch) need.
+///
+/// # Example
+///
+/// ```
+/// use qecool_surface_code::BitVec;
+///
+/// let mut bits = BitVec::zeros(130);
+/// bits.set(3, true);
+/// bits.toggle(129);
+/// assert!(bits.get(3));
+/// assert_eq!(bits.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn toggle(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / 64] ^= 1u64 << (idx % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Parity (XOR) of the bits selected by `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn parity_of<I: IntoIterator<Item = usize>>(&self, indices: I) -> bool {
+        indices.into_iter().fold(false, |acc, i| acc ^ self.get(i))
+    }
+
+    /// Iterates over the indices of the set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bits: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    /// Element-wise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        assert_eq!(self.len, rhs.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a ^= *b;
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ones=", self.len)?;
+        f.debug_list().entries(self.iter_ones()).finish()?;
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        let mut bits = BitVec::zeros(bools.len());
+        for (i, b) in bools.iter().enumerate() {
+            if *b {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+}
+
+/// Iterator over set-bit indices, produced by [`BitVec::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bits: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.words.len() {
+                return None;
+            }
+            self.current = self.bits.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_is_all_clear() {
+        let bits = BitVec::zeros(100);
+        assert_eq!(bits.len(), 100);
+        assert!(bits.is_zero());
+        assert_eq!(bits.count_ones(), 0);
+        assert!(!bits.is_empty());
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bits = BitVec::zeros(130);
+        for idx in [0, 1, 63, 64, 65, 127, 128, 129] {
+            bits.set(idx, true);
+            assert!(bits.get(idx), "bit {idx} should be set");
+        }
+        assert_eq!(bits.count_ones(), 8);
+        bits.set(64, false);
+        assert!(!bits.get(64));
+        assert_eq!(bits.count_ones(), 7);
+    }
+
+    #[test]
+    fn toggle_twice_is_identity() {
+        let mut bits = BitVec::zeros(70);
+        bits.toggle(69);
+        assert!(bits.get(69));
+        bits.toggle(69);
+        assert!(bits.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn parity_of_selected() {
+        let mut bits = BitVec::zeros(8);
+        bits.set(1, true);
+        bits.set(3, true);
+        assert!(!bits.parity_of([1, 3]));
+        assert!(bits.parity_of([1, 2]));
+        assert!(!bits.parity_of([]));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut bits = BitVec::zeros(200);
+        let expected = [0usize, 5, 63, 64, 120, 199];
+        for &i in &expected {
+            bits.set(i, true);
+        }
+        let got: Vec<usize> = bits.iter_ones().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn from_iterator_roundtrip() {
+        let bools = [true, false, true, true, false];
+        let bits: BitVec = bools.iter().copied().collect();
+        assert_eq!(bits.len(), 5);
+        for (i, b) in bools.iter().enumerate() {
+            assert_eq!(bits.get(i), *b);
+        }
+    }
+
+    #[test]
+    fn debug_lists_ones() {
+        let mut bits = BitVec::zeros(8);
+        bits.set(2, true);
+        let s = format!("{bits:?}");
+        assert!(s.contains('2'), "debug output should mention bit 2: {s}");
+    }
+
+    proptest! {
+        #[test]
+        fn xor_assign_matches_boolwise(
+            a in proptest::collection::vec(any::<bool>(), 1..200),
+            seed in any::<u64>(),
+        ) {
+            // Build b as a deterministic shuffle of a's length.
+            let b: Vec<bool> = a
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (seed.wrapping_mul(i as u64 + 1) >> 7) & 1 == 1)
+                .collect();
+            let mut va: BitVec = a.iter().copied().collect();
+            let vb: BitVec = b.iter().copied().collect();
+            va ^= &vb;
+            for i in 0..a.len() {
+                prop_assert_eq!(va.get(i), a[i] ^ b[i]);
+            }
+        }
+
+        #[test]
+        fn count_ones_matches_boolwise(a in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let bits: BitVec = a.iter().copied().collect();
+            prop_assert_eq!(bits.count_ones(), a.iter().filter(|&&x| x).count());
+            prop_assert_eq!(bits.is_zero(), a.iter().all(|&x| !x));
+        }
+
+        #[test]
+        fn iter_ones_matches_boolwise(a in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let bits: BitVec = a.iter().copied().collect();
+            let got: Vec<usize> = bits.iter_ones().collect();
+            let expected: Vec<usize> = a
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &x)| x.then_some(i))
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Accumulated multi-round syndrome history (the 3-D lattice of Fig. 1(c)).
+
+use crate::geometry::{Ancilla, Lattice};
+use crate::syndrome::{DetectionEvent, DetectionRound};
+
+/// An ordered stack of detection rounds — the 3-D (space × time) syndrome
+/// lattice that batch decoders consume whole.
+///
+/// Round 0 is the oldest layer. The history does not interpret events; it
+/// only collects them and can enumerate them as
+/// [`DetectionEvent`]s for graph-based decoders.
+///
+/// # Example
+///
+/// ```
+/// use qecool_surface_code::{CodePatch, Lattice, PhenomenologicalNoise, SyndromeHistory};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), qecool_surface_code::LatticeError> {
+/// let lattice = Lattice::new(3)?;
+/// let mut patch = CodePatch::new(lattice.clone());
+/// let mut history = SyndromeHistory::new(lattice);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let noise = PhenomenologicalNoise::symmetric(0.02);
+/// for _ in 0..3 {
+///     history.push(patch.noisy_round(&noise, &mut rng));
+/// }
+/// history.push(patch.perfect_round());
+/// assert_eq!(history.num_rounds(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyndromeHistory {
+    lattice: Lattice,
+    rounds: Vec<DetectionRound>,
+}
+
+impl SyndromeHistory {
+    /// Creates an empty history for the given lattice.
+    pub fn new(lattice: Lattice) -> Self {
+        Self {
+            lattice,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// The lattice the rounds were measured on.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Appends a measurement round (newest layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round's width does not match the lattice.
+    pub fn push(&mut self, round: DetectionRound) {
+        assert_eq!(
+            round.events().len(),
+            self.lattice.num_ancillas(),
+            "round width does not match lattice"
+        );
+        self.rounds.push(round);
+    }
+
+    /// Number of rounds collected.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` when no round has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The round at time layer `t` (0 = oldest).
+    pub fn round(&self, t: usize) -> Option<&DetectionRound> {
+        self.rounds.get(t)
+    }
+
+    /// Iterates over the rounds from oldest to newest.
+    pub fn iter(&self) -> std::slice::Iter<'_, DetectionRound> {
+        self.rounds.iter()
+    }
+
+    /// Total number of detection events across all rounds.
+    pub fn num_events(&self) -> usize {
+        self.rounds.iter().map(DetectionRound::num_events).sum()
+    }
+
+    /// Enumerates every detection event as a 3-D lattice node, ordered by
+    /// round then ancilla index.
+    pub fn events(&self) -> Vec<DetectionEvent> {
+        let mut out = Vec::with_capacity(self.num_events());
+        for (t, round) in self.rounds.iter().enumerate() {
+            for idx in round.events().iter_ones() {
+                out.push(DetectionEvent::new(self.lattice.ancilla_from_index(idx), t));
+            }
+        }
+        out
+    }
+
+    /// Events of a single ancilla across time (ascending rounds).
+    pub fn events_of(&self, a: Ancilla) -> Vec<usize> {
+        let idx = self.lattice.ancilla_index(a);
+        self.rounds
+            .iter()
+            .enumerate()
+            .filter_map(|(t, r)| r.fired(idx).then_some(t))
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a SyndromeHistory {
+    type Item = &'a DetectionRound;
+    type IntoIter = std::slice::Iter<'a, DetectionRound>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    fn round_with(lat: &Lattice, fired: &[usize]) -> DetectionRound {
+        let mut bits = BitVec::zeros(lat.num_ancillas());
+        for &i in fired {
+            bits.set(i, true);
+        }
+        DetectionRound::new(bits)
+    }
+
+    #[test]
+    fn push_and_enumerate() {
+        let lat = Lattice::new(3).unwrap();
+        let mut h = SyndromeHistory::new(lat.clone());
+        assert!(h.is_empty());
+        h.push(round_with(&lat, &[0, 3]));
+        h.push(round_with(&lat, &[3]));
+        assert_eq!(h.num_rounds(), 2);
+        assert_eq!(h.num_events(), 3);
+        let events = h.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], DetectionEvent::new(lat.ancilla_from_index(0), 0));
+        assert_eq!(events[2], DetectionEvent::new(lat.ancilla_from_index(3), 1));
+    }
+
+    #[test]
+    fn events_of_single_ancilla() {
+        let lat = Lattice::new(3).unwrap();
+        let a = lat.ancilla_from_index(3);
+        let mut h = SyndromeHistory::new(lat.clone());
+        h.push(round_with(&lat, &[3]));
+        h.push(round_with(&lat, &[]));
+        h.push(round_with(&lat, &[3]));
+        assert_eq!(h.events_of(a), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match lattice")]
+    fn rejects_mismatched_round() {
+        let lat = Lattice::new(3).unwrap();
+        let mut h = SyndromeHistory::new(lat);
+        h.push(DetectionRound::new(BitVec::zeros(2)));
+    }
+
+    #[test]
+    fn iterator_visits_in_order() {
+        let lat = Lattice::new(3).unwrap();
+        let mut h = SyndromeHistory::new(lat.clone());
+        h.push(round_with(&lat, &[1]));
+        h.push(round_with(&lat, &[2]));
+        let counts: Vec<usize> = (&h).into_iter().map(|r| r.fired_indices()[0]).collect();
+        assert_eq!(counts, vec![1, 2]);
+        assert!(h.round(0).is_some());
+        assert!(h.round(2).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Noise models for the quantum error simulator.
+//!
+//! The paper evaluates QECOOL under the **phenomenological noise model**
+//! (Dennis et al. \[4\]): in every measurement round each data qubit suffers a
+//! Pauli-X flip with probability `p`, and each syndrome measurement result is
+//! read out wrongly with probability `q`. The paper assumes `q = p`
+//! ("the error probabilities of data and ancilla qubits are equal", §III-C).
+//!
+//! The **code-capacity model** (perfect measurements, `q = 0`) is also
+//! provided; it is what the "2-D" threshold columns of Table IV refer to.
+
+use rand::Rng;
+
+/// A per-round error process for the simulator.
+///
+/// A noise model answers two questions for each round: with what probability
+/// does each data qubit flip, and with what probability is each syndrome
+/// readout wrong.
+pub trait NoiseModel {
+    /// Probability that a given data qubit suffers an X flip in one round.
+    fn data_error_rate(&self) -> f64;
+
+    /// Probability that a given syndrome measurement is misread in one round.
+    fn measurement_error_rate(&self) -> f64;
+
+    /// Samples whether a single data qubit flips this round.
+    fn sample_data_flip<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.data_error_rate())
+    }
+
+    /// Samples whether a single measurement is misread this round.
+    fn sample_measurement_flip<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.measurement_error_rate())
+    }
+}
+
+/// Phenomenological noise: data flips with probability `p` *and* measurement
+/// flips with probability `q` per round.
+///
+/// # Example
+///
+/// ```
+/// use qecool_surface_code::{NoiseModel, PhenomenologicalNoise};
+///
+/// let noise = PhenomenologicalNoise::symmetric(0.01);
+/// assert_eq!(noise.data_error_rate(), 0.01);
+/// assert_eq!(noise.measurement_error_rate(), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhenomenologicalNoise {
+    p: f64,
+    q: f64,
+}
+
+impl PhenomenologicalNoise {
+    /// Creates a model with independent data (`p`) and measurement (`q`)
+    /// error rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates lie in `[0, 1]`.
+    pub fn new(p: f64, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "data error rate out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "measurement error rate out of [0,1]"
+        );
+        Self { p, q }
+    }
+
+    /// The paper's setting: equal data and measurement error rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` lies in `[0, 1]`.
+    pub fn symmetric(p: f64) -> Self {
+        Self::new(p, p)
+    }
+}
+
+impl NoiseModel for PhenomenologicalNoise {
+    fn data_error_rate(&self) -> f64 {
+        self.p
+    }
+
+    fn measurement_error_rate(&self) -> f64 {
+        self.q
+    }
+}
+
+/// Code-capacity noise: data flips with probability `p`, measurements are
+/// perfect. Used for "2-D" (single-layer) threshold experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeCapacityNoise {
+    p: f64,
+}
+
+impl CodeCapacityNoise {
+    /// Creates a code-capacity model with data error rate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` lies in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "data error rate out of [0,1]");
+        Self { p }
+    }
+}
+
+impl NoiseModel for CodeCapacityNoise {
+    fn data_error_rate(&self) -> f64 {
+        self.p
+    }
+
+    fn measurement_error_rate(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn symmetric_sets_both_rates() {
+        let n = PhenomenologicalNoise::symmetric(0.02);
+        assert_eq!(n.data_error_rate(), 0.02);
+        assert_eq!(n.measurement_error_rate(), 0.02);
+    }
+
+    #[test]
+    fn asymmetric_rates_are_independent() {
+        let n = PhenomenologicalNoise::new(0.01, 0.05);
+        assert_eq!(n.data_error_rate(), 0.01);
+        assert_eq!(n.measurement_error_rate(), 0.05);
+    }
+
+    #[test]
+    fn code_capacity_has_perfect_measurement() {
+        let n = CodeCapacityNoise::new(0.1);
+        assert_eq!(n.data_error_rate(), 0.1);
+        assert_eq!(n.measurement_error_rate(), 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!n.sample_measurement_flip(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_invalid_rate() {
+        PhenomenologicalNoise::symmetric(1.5);
+    }
+
+    #[test]
+    fn sample_statistics_are_plausible() {
+        // 10k samples at p = 0.3: expect ~3000 hits; allow a wide band.
+        let n = PhenomenologicalNoise::symmetric(0.3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| n.sample_data_flip(&mut rng)).count();
+        assert!((2500..3500).contains(&hits), "got {hits} hits");
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let n = PhenomenologicalNoise::symmetric(0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| !n.sample_data_flip(&mut rng)));
+    }
+
+    #[test]
+    fn unit_rate_always_fires() {
+        let n = PhenomenologicalNoise::symmetric(1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert!((0..1000).all(|_| n.sample_data_flip(&mut rng)));
+    }
+}

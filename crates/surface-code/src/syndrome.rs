@@ -1,0 +1,112 @@
+//! Detection-event rounds produced by syndrome measurement.
+
+use crate::bitvec::BitVec;
+use crate::geometry::Ancilla;
+
+/// The detection events of one measurement round: one bit per ancilla,
+/// set when this round's reported syndrome differs from the previous
+/// reported value (adjusted for corrections — see
+/// [`CodePatch`](crate::CodePatch)).
+///
+/// A `DetectionRound` is exactly what the paper's hardware pushes into each
+/// Unit's `Reg` on a `Push` signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionRound {
+    events: BitVec,
+}
+
+impl DetectionRound {
+    /// Wraps a raw event bit-vector (one bit per ancilla, dense index order).
+    pub fn new(events: BitVec) -> Self {
+        Self { events }
+    }
+
+    /// The underlying event bits in dense ancilla-index order.
+    pub fn events(&self) -> &BitVec {
+        &self.events
+    }
+
+    /// Whether the ancilla with dense index `idx` fired this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn fired(&self, idx: usize) -> bool {
+        self.events.get(idx)
+    }
+
+    /// Number of detection events in this round.
+    pub fn num_events(&self) -> usize {
+        self.events.count_ones()
+    }
+
+    /// `true` when no ancilla fired.
+    pub fn is_quiet(&self) -> bool {
+        self.events.is_zero()
+    }
+
+    /// Dense ancilla indices that fired, ascending.
+    pub fn fired_indices(&self) -> Vec<usize> {
+        self.events.iter_ones().collect()
+    }
+
+    /// Consumes the round, returning the raw bit-vector.
+    pub fn into_inner(self) -> BitVec {
+        self.events
+    }
+}
+
+/// A detection event located on the 3-D (space × time) syndrome lattice.
+///
+/// `round` counts measurement rounds from the start of the observation
+/// window (0 = oldest). This is the node type of the 3-D matching graph that
+/// both decoders operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DetectionEvent {
+    /// Ancilla grid coordinate.
+    pub ancilla: Ancilla,
+    /// Measurement round (time layer) the event fired in.
+    pub round: usize,
+}
+
+impl DetectionEvent {
+    /// Creates an event at `(ancilla, round)`.
+    pub fn new(ancilla: Ancilla, round: usize) -> Self {
+        Self { ancilla, round }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_accessors() {
+        let mut bits = BitVec::zeros(12);
+        bits.set(2, true);
+        bits.set(7, true);
+        let round = DetectionRound::new(bits.clone());
+        assert_eq!(round.num_events(), 2);
+        assert!(!round.is_quiet());
+        assert!(round.fired(2));
+        assert!(!round.fired(3));
+        assert_eq!(round.fired_indices(), vec![2, 7]);
+        assert_eq!(round.events(), &bits);
+        assert_eq!(round.into_inner(), bits);
+    }
+
+    #[test]
+    fn quiet_round() {
+        let round = DetectionRound::new(BitVec::zeros(5));
+        assert!(round.is_quiet());
+        assert_eq!(round.num_events(), 0);
+        assert!(round.fired_indices().is_empty());
+    }
+
+    #[test]
+    fn event_ordering_is_by_ancilla_then_round() {
+        let a = DetectionEvent::new(Ancilla::new(0, 0), 5);
+        let b = DetectionEvent::new(Ancilla::new(0, 1), 0);
+        assert!(a < b);
+    }
+}

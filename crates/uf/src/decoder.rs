@@ -1,0 +1,349 @@
+//! The union-find decoder: cluster growth + peeling.
+//!
+//! Algorithm (Delfosse–Nickerson):
+//!
+//! 1. **Syndrome validation / growth** — every detection event starts a
+//!    singleton cluster. All *active* clusters (odd defect parity, no
+//!    boundary contact) grow by a half-edge per step; edges whose support
+//!    reaches 2 merge their endpoint clusters. Growth stops when every
+//!    cluster is neutral (even parity or boundary-touching).
+//! 2. **Peeling** — the fully-grown edges form an *erasure*; a spanning
+//!    forest of the erasure (rooted at boundary nodes where available) is
+//!    peeled leaf-first: a leaf carrying a defect emits its tree edge as
+//!    part of the correction and hands the defect to its parent.
+//!
+//! Spatial tree edges emit data-qubit corrections (XOR-accumulated per
+//! qubit across rounds); temporal edges absorb measurement errors.
+
+use crate::dsu::ClusterSets;
+use crate::graph::{DecodingGraph, GraphEdgeKind};
+use qecool_surface_code::{CodePatch, Edge, Lattice, SyndromeHistory};
+
+/// Result of one union-find decode.
+#[derive(Debug, Clone, Default)]
+pub struct UfOutcome {
+    /// Data-qubit corrections (already XOR-reduced per qubit).
+    pub corrections: Vec<Edge>,
+    /// Growth iterations until all clusters neutralized.
+    pub growth_steps: usize,
+    /// Number of fully-grown (erasure) edges handed to the peeler.
+    pub erasure_edges: usize,
+}
+
+impl UfOutcome {
+    /// Applies the corrections to a code patch.
+    pub fn apply(&self, patch: &mut CodePatch) {
+        patch.apply_corrections(self.corrections.iter().copied());
+    }
+}
+
+/// Union-find decoder over a [`SyndromeHistory`] (batch decoding).
+///
+/// # Example
+///
+/// ```
+/// use qecool_surface_code::{CodePatch, Lattice, SyndromeHistory};
+/// use qecool_uf::UnionFindDecoder;
+///
+/// # fn main() -> Result<(), qecool_surface_code::LatticeError> {
+/// let lattice = Lattice::new(5)?;
+/// let mut patch = CodePatch::new(lattice.clone());
+/// patch.inject_error(lattice.horizontal_edge(2, 2));
+/// let mut history = SyndromeHistory::new(lattice.clone());
+/// history.push(patch.perfect_round());
+///
+/// let outcome = UnionFindDecoder::new(lattice).decode(&history);
+/// outcome.apply(&mut patch);
+/// assert!(patch.syndrome_is_trivial());
+/// assert!(!patch.has_logical_error());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFindDecoder {
+    lattice: Lattice,
+}
+
+impl UnionFindDecoder {
+    /// Creates a decoder for the given lattice.
+    pub fn new(lattice: Lattice) -> Self {
+        Self { lattice }
+    }
+
+    /// The lattice this decoder was built for.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Decodes a full syndrome history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty or belongs to a different lattice
+    /// size.
+    pub fn decode(&self, history: &SyndromeHistory) -> UfOutcome {
+        assert_eq!(
+            history.lattice().num_ancillas(),
+            self.lattice.num_ancillas(),
+            "history lattice does not match decoder lattice"
+        );
+        let graph = DecodingGraph::new(&self.lattice, history.num_rounds());
+        let n = graph.num_nodes();
+
+        // Defects and cluster bookkeeping.
+        let mut defect = vec![false; n];
+        let mut sets = ClusterSets::new(n);
+        for (t, round) in history.iter().enumerate() {
+            for idx in round.events().iter_ones() {
+                let node = graph.cell(idx, t);
+                defect[node] = true;
+                sets.set_defect(node);
+            }
+        }
+        for node in 0..n {
+            if graph.is_boundary(node) {
+                sets.set_boundary(node);
+            }
+        }
+        let defects: Vec<usize> = (0..n).filter(|&v| defect[v]).collect();
+        if defects.is_empty() {
+            return UfOutcome::default();
+        }
+
+        // Phase 1: grow active clusters until neutral.
+        let mut support = vec![0u8; graph.edges().len()];
+        let mut growth_steps = 0;
+        loop {
+            if !defects.iter().any(|&v| sets.is_active(v)) {
+                break;
+            }
+            growth_steps += 1;
+            let mut fused: Vec<usize> = Vec::new();
+            for (i, e) in graph.edges().iter().enumerate() {
+                if support[i] >= 2 {
+                    continue;
+                }
+                let inc = u8::from(sets.is_active(e.u as usize))
+                    + u8::from(sets.is_active(e.v as usize));
+                if inc == 0 {
+                    continue;
+                }
+                support[i] = (support[i] + inc).min(2);
+                if support[i] == 2 {
+                    fused.push(i);
+                }
+            }
+            assert!(
+                !fused.is_empty() || growth_steps < 2 * graph.num_nodes(),
+                "union-find growth stalled"
+            );
+            for i in fused {
+                let e = graph.edges()[i];
+                sets.union(e.u as usize, e.v as usize);
+            }
+        }
+
+        // Phase 2: peel the erasure.
+        let erasure: Vec<usize> = (0..support.len()).filter(|&i| support[i] == 2).collect();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &i in &erasure {
+            let e = graph.edges()[i];
+            adj[e.u as usize].push((e.v, i as u32));
+            adj[e.v as usize].push((e.u, i as u32));
+        }
+
+        let mut visited = vec![false; n];
+        let mut qubit_parity = vec![false; self.lattice.num_data_qubits()];
+        // Roots: boundary nodes first so defects can drain into them.
+        let boundary_roots = (0..n).filter(|&v| graph.is_boundary(v));
+        let all_roots: Vec<usize> = boundary_roots.chain(0..n).collect();
+        for root in all_roots {
+            if visited[root] || adj[root].is_empty() {
+                continue;
+            }
+            // BFS spanning tree of this erasure component.
+            let mut order: Vec<usize> = vec![root];
+            let mut parent_edge: Vec<Option<(usize, u32)>> = vec![None; n];
+            visited[root] = true;
+            let mut head = 0;
+            while head < order.len() {
+                let v = order[head];
+                head += 1;
+                for &(w, ei) in &adj[v] {
+                    let w = w as usize;
+                    if !visited[w] {
+                        visited[w] = true;
+                        parent_edge[w] = Some((v, ei));
+                        order.push(w);
+                    }
+                }
+            }
+            // Peel leaf-first (reverse BFS order).
+            let mut carry = defect.clone();
+            for &v in order.iter().skip(1).rev() {
+                if carry[v] {
+                    let (p, ei) = parent_edge[v].expect("non-root has a parent");
+                    carry[v] = false;
+                    carry[p] = !carry[p];
+                    if let GraphEdgeKind::Data(q) = graph.edges()[ei as usize].kind {
+                        qubit_parity[q.index()] ^= true;
+                    }
+                }
+            }
+            // Defects drained into this component's root must end on a
+            // boundary (or cancel) — otherwise the cluster was not neutral.
+            assert!(
+                !carry[root] || graph.is_boundary(root),
+                "peeling left a defect on a non-boundary root"
+            );
+            // Propagate the carried defects back into the shared array so
+            // overlapping components (there are none — components are
+            // disjoint) cannot double-count; simply clear the processed
+            // nodes.
+            for &v in &order {
+                defect[v] = false;
+            }
+        }
+        debug_assert!(
+            defect.iter().all(|&d| !d),
+            "some defect was outside every erasure component"
+        );
+
+        let corrections: Vec<Edge> = qubit_parity
+            .iter()
+            .enumerate()
+            .filter_map(|(q, &on)| on.then_some(Edge(q)))
+            .collect();
+        UfOutcome {
+            corrections,
+            growth_steps,
+            erasure_edges: erasure.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qecool_surface_code::{Ancilla, PhenomenologicalNoise};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn single_round(patch: &mut CodePatch) -> SyndromeHistory {
+        let mut h = SyndromeHistory::new(patch.lattice().clone());
+        h.push(patch.perfect_round());
+        h
+    }
+
+    #[test]
+    fn empty_syndrome_decodes_to_nothing() {
+        let lat = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lat.clone());
+        let h = single_round(&mut patch);
+        let out = UnionFindDecoder::new(lat).decode(&h);
+        assert!(out.corrections.is_empty());
+        assert_eq!(out.growth_steps, 0);
+        assert_eq!(out.erasure_edges, 0);
+    }
+
+    #[test]
+    fn corrects_every_single_qubit_error() {
+        let lat = Lattice::new(5).unwrap();
+        let decoder = UnionFindDecoder::new(lat.clone());
+        for q in 0..lat.num_data_qubits() {
+            let mut patch = CodePatch::new(lat.clone());
+            patch.inject_error(Edge(q));
+            let h = single_round(&mut patch);
+            let out = decoder.decode(&h);
+            out.apply(&mut patch);
+            assert!(patch.syndrome_is_trivial(), "qubit {q}");
+            assert!(!patch.has_logical_error(), "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn corrects_pure_measurement_error() {
+        let lat = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lat.clone());
+        let idx = lat.ancilla_index(Ancilla::new(2, 1));
+        let mut h = SyndromeHistory::new(lat.clone());
+        let mut r0 = patch.perfect_round().into_inner();
+        r0.toggle(idx);
+        h.push(qecool_surface_code::DetectionRound::new(r0));
+        let mut r1 = patch.perfect_round().into_inner();
+        r1.toggle(idx);
+        h.push(qecool_surface_code::DetectionRound::new(r1));
+        let out = UnionFindDecoder::new(lat).decode(&h);
+        assert!(
+            out.corrections.is_empty(),
+            "measurement error must not touch data: {out:?}"
+        );
+    }
+
+    #[test]
+    fn always_clears_syndrome_under_noise() {
+        let lat = Lattice::new(9).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        let decoder = UnionFindDecoder::new(lat.clone());
+        for seed in 0..40u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut patch = CodePatch::new(lat.clone());
+            let mut h = SyndromeHistory::new(lat.clone());
+            for _ in 0..9 {
+                h.push(patch.noisy_round(&noise, &mut rng));
+            }
+            h.push(patch.perfect_round());
+            let out = decoder.decode(&h);
+            out.apply(&mut patch);
+            assert!(patch.syndrome_is_trivial(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_mwpm_on_sparse_errors() {
+        // On isolated weight-1 and weight-2 errors, UF and MWPM decode to
+        // the same homology class.
+        let lat = Lattice::new(7).unwrap();
+        let uf = UnionFindDecoder::new(lat.clone());
+        let mwpm = qecool_mwpm::MwpmDecoder::new(lat.clone());
+        for (q1, q2) in [(10usize, 11usize), (3, 20), (40, 41), (0, 60)] {
+            let mut patch = CodePatch::new(lat.clone());
+            patch.inject_error(Edge(q1 % lat.num_data_qubits()));
+            patch.inject_error(Edge(q2 % lat.num_data_qubits()));
+            let h = single_round(&mut patch);
+            let mut p1 = patch.clone();
+            uf.decode(&h).apply(&mut p1);
+            let mut p2 = patch.clone();
+            mwpm.decode(&h).unwrap().apply(&mut p2);
+            assert!(p1.syndrome_is_trivial() && p2.syndrome_is_trivial());
+            assert_eq!(
+                p1.has_logical_error(),
+                p2.has_logical_error(),
+                "UF and MWPM disagree on ({q1},{q2})"
+            );
+        }
+    }
+
+    #[test]
+    fn growth_steps_scale_with_separation() {
+        // Two far-apart events need more growth than two adjacent ones.
+        let lat = Lattice::new(9).unwrap();
+        let near = {
+            let mut patch = CodePatch::new(lat.clone());
+            patch.inject_error(lat.horizontal_edge(4, 4));
+            let h = single_round(&mut patch);
+            UnionFindDecoder::new(lat.clone()).decode(&h).growth_steps
+        };
+        let far = {
+            let mut patch = CodePatch::new(lat.clone());
+            let a = Ancilla::new(0, 4);
+            let b = Ancilla::new(8, 4);
+            for e in lat.route(a, b) {
+                patch.inject_error(e);
+            }
+            let h = single_round(&mut patch);
+            UnionFindDecoder::new(lat.clone()).decode(&h).growth_steps
+        };
+        assert!(far > near, "far {far} vs near {near}");
+    }
+}

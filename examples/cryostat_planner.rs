@@ -1,0 +1,60 @@
+//! Cryostat capacity planning with the SFQ hardware model: how many
+//! logical qubits can one dilution refrigerator protect?
+//!
+//! Sweeps code distance and clock frequency through the ERSFQ power model
+//! and the 1 W @ 4 K budget — the analysis behind Tables IV and V.
+//!
+//! ```text
+//! cargo run --release --example cryostat_planner
+//! ```
+
+use qecool_repro::sfq::budget::{
+    qecool_units_per_logical_qubit, DecoderBudget, POWER_BUDGET_4K_W,
+};
+use qecool_repro::sfq::timing::{max_clock_ghz, unit_critical_path_ps};
+use qecool_repro::sfq::UnitDesign;
+
+fn main() {
+    let unit = UnitDesign::paper_unit();
+    let totals = unit.published_totals();
+    println!(
+        "QECOOL Unit: {} JJs, {:.3} mm^2, {:.0} mA bias, {:.1} ps critical path \
+         (max clock {:.2} GHz)\n",
+        totals.jjs,
+        totals.area_um2 / 1e6,
+        totals.bias_ma,
+        unit_critical_path_ps(),
+        max_clock_ghz(unit_critical_path_ps())
+    );
+
+    println!(
+        "{:>3}  {:>7}  {:>12}  {:>16}  {:>18}",
+        "d", "Units", "clock (GHz)", "power/LQ (uW)", "protectable LQs"
+    );
+    for d in [5usize, 7, 9, 11, 13] {
+        for freq_ghz in [0.5, 1.0, 2.0] {
+            let b = DecoderBudget::qecool(d, freq_ghz * 1e9);
+            println!(
+                "{:>3}  {:>7}  {:>12.1}  {:>16.1}  {:>18}",
+                d,
+                qecool_units_per_logical_qubit(d),
+                freq_ghz,
+                b.power_per_logical_qubit_w() * 1e6,
+                b.protectable_qubits()
+            );
+        }
+    }
+
+    let aqec = DecoderBudget::aqec(9, true);
+    println!(
+        "\nComparator (AQEC/NISQ+ at d = 9, 3-D extended): {:.1} uW per logical qubit \
+         -> {} protectable logical qubits in the same {} W budget.",
+        aqec.power_per_logical_qubit_w() * 1e6,
+        aqec.protectable_qubits(),
+        POWER_BUDGET_4K_W
+    );
+    println!(
+        "QECOOL at d = 9, 2 GHz protects {} — the paper's ~2500 figure.",
+        DecoderBudget::qecool(9, 2.0e9).protectable_qubits()
+    );
+}

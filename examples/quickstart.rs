@@ -1,0 +1,51 @@
+//! Quickstart: decode a corrupted distance-5 surface-code patch with the
+//! QECOOL spike-based decoder.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qecool_repro::decoder::{QecoolConfig, QecoolDecoder};
+use qecool_repro::surface_code::{CodePatch, Lattice};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A distance-5 planar surface code: 5x4 syndrome ancillas (one QECOOL
+    // hardware Unit each), 41 data qubits in the bit-flip sector.
+    let lattice = Lattice::new(5)?;
+    println!(
+        "d = {}: {} ancillas / hardware Units, {} data qubits",
+        lattice.distance(),
+        lattice.num_ancillas(),
+        lattice.num_data_qubits()
+    );
+
+    // Corrupt two data qubits: a bulk qubit and one on the west boundary.
+    let mut patch = CodePatch::new(lattice.clone());
+    patch.inject_error(lattice.horizontal_edge(2, 2));
+    patch.inject_error(lattice.horizontal_edge(4, 0));
+    println!("injected {} X errors", patch.error_weight());
+
+    // One (perfect) syndrome measurement feeds every Unit's register...
+    let mut decoder = QecoolDecoder::new(lattice, QecoolConfig::batch(1));
+    let round = patch.perfect_round();
+    println!("detection events: {}", round.num_events());
+    decoder.push_round(&round)?;
+
+    // ...and the spike race resolves the matching.
+    let report = decoder.drain();
+    println!(
+        "decode finished in {} hardware cycles, {} matches:",
+        report.cycles,
+        report.matches.len()
+    );
+    for m in &report.matches {
+        println!("  sink {} at layer {} resolved as {:?}", m.sink, m.layer, m.kind);
+    }
+
+    // Apply the corrections and verify the patch is clean again.
+    patch.apply_corrections(report.corrections.iter().copied());
+    assert!(patch.syndrome_is_trivial());
+    assert!(!patch.has_logical_error());
+    println!("patch restored to the code space with no logical error");
+    Ok(())
+}

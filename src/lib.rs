@@ -1,0 +1,25 @@
+//! Umbrella crate for the QECOOL (DAC 2021) reproduction workspace.
+//!
+//! This crate re-exports the workspace's public surface so the top-level
+//! `examples/` and `tests/` can use a single dependency. The actual
+//! implementations live in the member crates:
+//!
+//! * [`surface_code`] — lattice, noise, syndrome extraction substrate;
+//! * [`mwpm`] — blossom-based minimum-weight perfect-matching baseline;
+//! * [`uf`] — union-find (almost-linear-time) baseline decoder;
+//! * [`decoder`] — the QECOOL spike-based on-line decoder (the paper's
+//!   contribution);
+//! * [`sfq`] — SFQ cell library, timing, power and refrigerator-budget
+//!   models;
+//! * [`sim`] — Monte-Carlo engine, statistics and experiment drivers.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![deny(missing_docs)]
+
+pub use qecool as decoder;
+pub use qecool_mwpm as mwpm;
+pub use qecool_sfq as sfq;
+pub use qecool_sim as sim;
+pub use qecool_surface_code as surface_code;
+pub use qecool_uf as uf;
