@@ -13,10 +13,11 @@
 //! ```
 
 use qecool_bench::{fmt_rate, Options, TextTable};
-use qecool_sim::{run_monte_carlo, DecoderKind, TrialConfig};
+use qecool_sim::{DecoderKind, TrialConfig};
 
 fn main() {
     let opts = Options::parse(600);
+    let engine = opts.engine();
     let mut table = TextTable::new(["study", "setting", "d", "p", "logical error rate (95% CI)", "overflow"]);
 
     // 1. Boundary penalty sweep in the threshold region (batch mode).
@@ -25,7 +26,7 @@ fn main() {
             for p in [0.008, 0.015] {
                 let mut cfg = TrialConfig::standard(d, p, DecoderKind::BatchQecool);
                 cfg.boundary_penalty = penalty;
-                let mc = run_monte_carlo(&cfg, opts.shots, opts.seed);
+                let mc = engine.run(&cfg, opts.shots, opts.seed);
                 table.row([
                     "boundary-penalty".to_owned(),
                     penalty.to_string(),

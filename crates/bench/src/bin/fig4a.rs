@@ -10,10 +10,11 @@
 //! ```
 
 use qecool_bench::{fmt_rate, Options, TextTable, PAPER_DISTANCES};
-use qecool_sim::{estimate_threshold, log_grid, sweep, DecoderKind, NoiseKind};
+use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecoderKind, NoiseKind};
 
 fn main() {
     let opts = Options::parse(1000);
+    let engine = opts.engine();
     let ps = log_grid(1e-3, 1e-1, 9);
     let mut table = TextTable::new(["decoder", "d", "p", "logical error rate (95% CI)"]);
 
@@ -22,7 +23,8 @@ fn main() {
         ("MWPM", DecoderKind::Mwpm),
     ] {
         eprintln!("sweeping {name} ({} shots/point)...", opts.shots);
-        let result = sweep(
+        let result = sweep_on(
+            &engine,
             decoder,
             NoiseKind::Phenomenological,
             &PAPER_DISTANCES,

@@ -16,10 +16,11 @@
 //! ```
 
 use qecool_bench::{Options, TextTable, PAPER_DISTANCES};
-use qecool_sim::{log_grid, sweep, DecoderKind, NoiseKind};
+use qecool_sim::{log_grid, sweep_on, DecoderKind, NoiseKind};
 
 fn main() {
     let opts = Options::parse(600);
+    let engine = opts.engine();
     let ps = log_grid(1e-3, 1e-1, 9);
     let mut table = TextTable::new([
         "d",
@@ -30,7 +31,8 @@ fn main() {
     ]);
 
     eprintln!("sweeping batch-QECOOL match telemetry ({} shots/point)...", opts.shots);
-    let result = sweep(
+    let result = sweep_on(
+        &engine,
         DecoderKind::BatchQecool,
         NoiseKind::Phenomenological,
         &PAPER_DISTANCES,

@@ -12,10 +12,11 @@
 
 use qecool_bench::{fmt_rate, Options, TextTable, PAPER_DISTANCES};
 use qecool_sfq::power::{cycles_per_measurement, FIG7_FREQUENCIES_HZ, MEASUREMENT_INTERVAL_S};
-use qecool_sim::{estimate_threshold, log_grid, sweep, DecoderKind, NoiseKind};
+use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecoderKind, NoiseKind};
 
 fn main() {
     let opts = Options::parse(1000);
+    let engine = opts.engine();
     let ps = log_grid(1e-3, 3e-2, 8);
     let mut table = TextTable::new([
         "frequency",
@@ -29,7 +30,8 @@ fn main() {
         let budget = cycles_per_measurement(freq, MEASUREMENT_INTERVAL_S);
         let label = format!("{} MHz", (freq / 1e6).round() as u64);
         eprintln!("sweeping on-line QECOOL @ {label} ({budget} cycles/layer)...");
-        let result = sweep(
+        let result = sweep_on(
+            &engine,
             DecoderKind::OnlineQecool {
                 budget_cycles: budget,
             },

@@ -12,13 +12,14 @@
 //! ```
 
 use qecool_bench::{Options, TextTable, PAPER_DISTANCES};
-use qecool_sim::{run_monte_carlo, DecoderKind, TrialConfig};
+use qecool_sim::{DecoderKind, TrialConfig};
 
 /// The error rates of Table III.
 const PS: [f64; 3] = [0.001, 0.005, 0.01];
 
 fn main() {
     let opts = Options::parse(500);
+    let engine = opts.engine();
     let mut table = TextTable::new(["d", "p", "Max", "Avg", "sigma", "layers"]);
 
     for &d in &PAPER_DISTANCES {
@@ -26,7 +27,7 @@ fn main() {
             // 2 GHz budget: fast enough that cycle statistics are not
             // truncated by overflow at these p (matches §V-A's setting).
             let cfg = TrialConfig::standard(d, p, DecoderKind::OnlineQecool { budget_cycles: 2000 });
-            let mc = run_monte_carlo(&cfg, opts.shots, opts.seed);
+            let mc = engine.run(&cfg, opts.shots, opts.seed);
             let agg = mc.layer_cycles;
             table.row([
                 d.to_string(),

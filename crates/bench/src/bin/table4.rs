@@ -12,19 +12,28 @@
 
 use qecool_bench::{Options, TextTable};
 use qecool_sfq::compare::{table4_literature_rows, table4_paper_qecool_row};
-use qecool_sim::{estimate_threshold, log_grid, sweep, DecoderKind, NoiseKind};
+use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecodeEngine, DecoderKind, NoiseKind};
 
-fn measured_threshold(noise: NoiseKind, decoder: DecoderKind, ps: &[f64], shots: usize, seed: u64) -> Option<f64> {
+fn measured_threshold(
+    engine: &DecodeEngine,
+    noise: NoiseKind,
+    decoder: DecoderKind,
+    ps: &[f64],
+    shots: usize,
+    seed: u64,
+) -> Option<f64> {
     let ds = [5, 7, 9, 11];
-    let result = sweep(decoder, noise, &ds, ps, seed, |_, _| shots);
+    let result = sweep_on(engine, decoder, noise, &ds, ps, seed, |_, _| shots);
     estimate_threshold(&result.curves()).map(|e| e.pth)
 }
 
 fn main() {
     let opts = Options::parse(800);
+    let engine = opts.engine();
 
     eprintln!("measuring union-find 3-D threshold...");
     let uf_3d = measured_threshold(
+        &engine,
         NoiseKind::Phenomenological,
         DecoderKind::UnionFind,
         &log_grid(0.01, 0.06, 7),
@@ -33,6 +42,7 @@ fn main() {
     );
     eprintln!("measuring union-find 2-D threshold...");
     let uf_2d = measured_threshold(
+        &engine,
         NoiseKind::CodeCapacity,
         DecoderKind::UnionFind,
         &log_grid(0.03, 0.2, 7),
@@ -41,6 +51,7 @@ fn main() {
     );
     eprintln!("measuring QECOOL 2-D (code-capacity) threshold...");
     let pth_2d = measured_threshold(
+        &engine,
         NoiseKind::CodeCapacity,
         DecoderKind::BatchQecool,
         &log_grid(0.01, 0.15, 8),
@@ -49,6 +60,7 @@ fn main() {
     );
     eprintln!("measuring QECOOL 3-D (on-line, 2 GHz) threshold...");
     let pth_3d = measured_threshold(
+        &engine,
         NoiseKind::Phenomenological,
         DecoderKind::OnlineQecool { budget_cycles: 2000 },
         &log_grid(0.0015, 0.02, 8),

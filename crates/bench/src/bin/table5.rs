@@ -13,14 +13,15 @@
 
 use qecool_bench::{Options, TextTable};
 use qecool_sfq::compare::{table5_aqec_column, table5_qecool_column, Table5Column};
-use qecool_sim::{run_monte_carlo, DecoderKind, TrialConfig};
+use qecool_sim::{DecoderKind, TrialConfig};
 
 fn main() {
     let opts = Options::parse(600);
+    let engine = opts.engine();
 
     eprintln!("measuring QECOOL execution cycles at d = 9, p = 0.001 (2 GHz)...");
     let cfg = TrialConfig::standard(9, 0.001, DecoderKind::OnlineQecool { budget_cycles: 2000 });
-    let mc = run_monte_carlo(&cfg, opts.shots, opts.seed);
+    let mc = engine.run(&cfg, opts.shots, opts.seed);
     let agg = mc.layer_cycles;
 
     // Thresholds: our measured reproduction values (see fig4a / fig7 /

@@ -7,7 +7,12 @@
 //! * `--shots N` — base Monte-Carlo shots per point (scaled internally);
 //! * `--seed S` — base RNG seed (default 2021, the paper's year);
 //! * `--fast` — divide shots by 10 for a quick smoke run;
+//! * `--threads N` — decode-engine worker threads (default: all cores);
 //! * `--out FILE` — additionally write machine-readable CSV.
+//!
+//! All binaries run their campaigns on one shared
+//! [`DecodeEngine`](qecool_sim::DecodeEngine), built by
+//! [`Options::engine`]. Results are independent of `--threads`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -22,6 +27,8 @@ pub struct Options {
     pub shots: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Decode-engine worker threads (0 = all cores).
+    pub threads: usize,
     /// Optional CSV output path.
     pub out: Option<String>,
 }
@@ -36,6 +43,7 @@ impl Options {
         let mut opts = Self {
             shots: default_shots,
             seed: 2021,
+            threads: 0,
             out: None,
         };
         let mut args = std::env::args().skip(1);
@@ -50,15 +58,26 @@ impl Options {
                     opts.seed = v.parse().expect("--seed must be an integer");
                 }
                 "--fast" => opts.shots = (opts.shots / 10).max(20),
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    opts.threads = v.parse().expect("--threads must be an integer");
+                }
                 "--out" => opts.out = Some(args.next().expect("--out needs a path")),
                 "--help" | "-h" => {
-                    eprintln!("usage: [--shots N] [--seed S] [--fast] [--out FILE]");
+                    eprintln!(
+                        "usage: [--shots N] [--seed S] [--fast] [--threads N] [--out FILE]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),
             }
         }
         opts
+    }
+
+    /// Builds the decode engine every campaign of this binary runs on.
+    pub fn engine(&self) -> qecool_sim::DecodeEngine {
+        qecool_sim::DecodeEngine::with_threads(self.threads)
     }
 
     /// Writes CSV content to `--out` if given; reports the path on stderr.

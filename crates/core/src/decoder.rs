@@ -156,6 +156,19 @@ impl QecoolDecoder {
         }
     }
 
+    /// Returns the decoder to its freshly-constructed state — registers,
+    /// scan position, telemetry and counters — without reallocating. This
+    /// is what lets a Monte-Carlo worker reuse one decoder instance for
+    /// millions of shots.
+    pub fn reset(&mut self) {
+        self.regs.reset();
+        self.scan = ScanState::restart();
+        self.stats.reset();
+        self.rounds_pushed = 0;
+        self.layers_retired = 0;
+        self.cycles_since_shift = 0;
+    }
+
     /// The lattice this decoder operates on.
     pub fn lattice(&self) -> &Lattice {
         &self.lattice

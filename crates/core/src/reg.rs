@@ -90,6 +90,13 @@ impl RegFile {
         self.words.len()
     }
 
+    /// Empties every register and the occupancy counter, reusing the
+    /// existing allocation (a hardware power-on reset).
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.occupancy = 0;
+    }
+
     /// Layer capacity of each register (7 in the paper's design).
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -300,6 +307,79 @@ mod tests {
             regs.push_round(&[false]).unwrap();
         }
         assert!(regs.push_round(&[false]).is_err());
+    }
+
+    #[test]
+    fn overflow_at_seven_depends_on_occupancy_not_events() {
+        // The paper's overflow condition is occupancy = capacity; even a
+        // fully event-free register bank refuses the 8th push.
+        let mut regs = RegFile::new(4, 7);
+        for _ in 0..7 {
+            regs.push_round(&[false; 4]).unwrap();
+        }
+        assert!(regs.all_clear(), "no events were pushed");
+        let err = regs.push_round(&[true; 4]).unwrap_err();
+        assert_eq!(err.capacity(), 7);
+    }
+
+    #[test]
+    fn overflow_leaves_state_untouched_and_is_repeatable() {
+        let mut regs = RegFile::new(2, 7);
+        for layer in 0..7 {
+            regs.push_round(&[layer % 2 == 0, false]).unwrap();
+        }
+        let before = regs.clone();
+        for _ in 0..3 {
+            assert!(regs.push_round(&[true, true]).is_err());
+        }
+        assert_eq!(regs, before, "failed push must not mutate the bank");
+        assert_eq!(regs.occupancy(), 7);
+    }
+
+    #[test]
+    fn shift_at_the_boundary_frees_exactly_one_layer() {
+        let mut regs = RegFile::new(1, 7);
+        for _ in 0..7 {
+            regs.push_round(&[false]).unwrap();
+        }
+        assert!(regs.push_round(&[false]).is_err());
+        regs.shift();
+        assert_eq!(regs.occupancy(), 6);
+        regs.push_round(&[true]).unwrap();
+        assert!(regs.push_round(&[false]).is_err(), "full again after refill");
+        assert!(regs.get(0, 6), "refilled layer landed on top");
+    }
+
+    #[test]
+    fn reset_restores_full_capacity() {
+        let mut regs = RegFile::new(3, 7);
+        for _ in 0..7 {
+            regs.push_round(&[true, false, true]).unwrap();
+        }
+        assert!(regs.push_round(&[false; 3]).is_err());
+        regs.reset();
+        assert_eq!(regs.occupancy(), 0);
+        assert!(regs.all_clear());
+        for _ in 0..7 {
+            regs.push_round(&[false; 3]).unwrap();
+        }
+        assert!(regs.push_round(&[false; 3]).is_err());
+    }
+
+    #[test]
+    fn max_capacity_word_boundary() {
+        // The packed u64 representation supports exactly 64 layers.
+        let mut regs = RegFile::new(1, MAX_REG_CAPACITY);
+        for _ in 0..MAX_REG_CAPACITY {
+            regs.push_round(&[false]).unwrap();
+        }
+        assert_eq!(regs.push_round(&[false]).unwrap_err().capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn beyond_word_capacity_rejected() {
+        RegFile::new(1, MAX_REG_CAPACITY + 1);
     }
 
     proptest! {

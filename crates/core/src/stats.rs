@@ -83,6 +83,14 @@ impl ExecStats {
         Self::default()
     }
 
+    /// Discards all telemetry, keeping allocations for reuse.
+    pub fn reset(&mut self) {
+        self.layer_cycles.clear();
+        self.total_cycles = 0;
+        self.matches.clear();
+        self.timeouts = 0;
+    }
+
     /// Records the retirement of one layer after `cycles` of decode work.
     pub(crate) fn record_layer(&mut self, cycles: u64) {
         self.layer_cycles.push(cycles);
@@ -133,6 +141,14 @@ impl ExecStats {
     /// temporal separation `dt` (Fig. 4(b) input).
     pub fn vertical_extent_histogram(&self) -> Vec<usize> {
         let mut hist = Vec::new();
+        self.vertical_extent_histogram_into(&mut hist);
+        hist
+    }
+
+    /// Allocation-free variant of [`Self::vertical_extent_histogram`]:
+    /// clears `hist` and fills it in place (the Monte-Carlo hot path).
+    pub fn vertical_extent_histogram_into(&self, hist: &mut Vec<usize>) {
+        hist.clear();
         for m in &self.matches {
             let dt = m.kind.vertical_extent();
             if hist.len() <= dt {
@@ -140,7 +156,6 @@ impl ExecStats {
             }
             hist[dt] += 1;
         }
-        hist
     }
 
     /// Fraction of matches whose vertical extent is at least `min_dt`.

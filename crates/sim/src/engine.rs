@@ -1,0 +1,390 @@
+//! The parallel streaming decode engine: every Monte-Carlo campaign in
+//! the workspace — figure sweeps, table drivers, examples, tests — runs
+//! through this one machine.
+//!
+//! # Threading model
+//!
+//! A campaign is split into fixed-size **shards** of consecutive trial
+//! seeds. Shard boundaries depend only on
+//! [`EngineConfig::shard_shots`], never on the number of workers, so the
+//! same campaign produces byte-identical aggregates on 1, 2 or 64
+//! threads:
+//!
+//! * a lock-free single-producer/multi-consumer work queue (an atomic
+//!   cursor over the precomputed shard list) feeds N worker threads;
+//! * each worker owns a reusable [`TrialScratch`] (decoder, patch,
+//!   syndrome buffers) and one recycled
+//!   [`TrialOutcome`](crate::trials::TrialOutcome), so the hot loop does
+//!   no per-shot construction;
+//! * scalar counters stream into the engine's [`EngineTally`] of atomic
+//!   counters the moment a shard retires — live observability with no
+//!   mutex on the aggregate;
+//! * per-shard partial [`McResult`]s are merged **in shard order** after
+//!   the scope joins, which keeps the histogram and cycle aggregates
+//!   independent of thread scheduling.
+//!
+//! Trial `i` of a job uses seed `base_seed + i` (wrapping), exactly like
+//! the serial path, so engine results equal serial results bit for bit.
+//!
+//! # Example
+//!
+//! ```
+//! use qecool_sim::engine::DecodeEngine;
+//! use qecool_sim::trials::{DecoderKind, TrialConfig};
+//!
+//! let engine = DecodeEngine::with_threads(2);
+//! let cfg = TrialConfig::standard(3, 0.01, DecoderKind::BatchQecool);
+//! let result = engine.run(&cfg, 40, 7);
+//! assert_eq!(result.shots, 40);
+//! assert_eq!(engine.tally().shots(), 40);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::montecarlo::McResult;
+use crate::trials::{run_trial_into, TrialConfig, TrialOutcome, TrialScratch};
+
+/// Default shard size: big enough to amortize queue traffic, small
+/// enough to load-balance the heavy tails of near-threshold campaigns.
+pub const DEFAULT_SHARD_SHOTS: usize = 64;
+
+/// Tuning knobs of a [`DecodeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` uses all available parallelism.
+    pub threads: usize,
+    /// Trials per shard. Changing this re-chunks the work queue but does
+    /// **not** change any result — per-trial seeds are position-derived.
+    pub shard_shots: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            shard_shots: DEFAULT_SHARD_SHOTS,
+        }
+    }
+}
+
+/// One Monte-Carlo job: `shots` trials of `trial` seeded from
+/// `base_seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McJob {
+    /// The trial configuration to sample.
+    pub trial: TrialConfig,
+    /// Number of independent trials.
+    pub shots: usize,
+    /// Seed of trial 0; trial `i` uses `base_seed + i` (wrapping).
+    pub base_seed: u64,
+}
+
+/// Live atomic counters streamed while campaigns run: totals over the
+/// engine's lifetime, readable from any thread without stopping work.
+#[derive(Debug, Default)]
+pub struct EngineTally {
+    shots: AtomicU64,
+    failures: AtomicU64,
+    overflows: AtomicU64,
+    matches: AtomicU64,
+}
+
+impl EngineTally {
+    /// Trials retired so far.
+    pub fn shots(&self) -> u64 {
+        self.shots.load(Ordering::Relaxed)
+    }
+
+    /// Logical failures (including overflows) so far.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Register-overflow failures so far.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Matches resolved so far.
+    pub fn matches(&self) -> u64 {
+        self.matches.load(Ordering::Relaxed)
+    }
+
+    fn absorb(&self, partial: &McResult) {
+        self.shots.fetch_add(partial.shots as u64, Ordering::Relaxed);
+        self.failures
+            .fetch_add(partial.failures as u64, Ordering::Relaxed);
+        self.overflows
+            .fetch_add(partial.overflows as u64, Ordering::Relaxed);
+        self.matches.fetch_add(partial.matches, Ordering::Relaxed);
+    }
+}
+
+/// One shard of one job on the global work queue.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    job: usize,
+    /// First trial index (relative to the job's `base_seed`).
+    start: usize,
+    len: usize,
+}
+
+/// The parallel Monte-Carlo decode engine. See the module docs for the
+/// threading model.
+#[derive(Debug, Default)]
+pub struct DecodeEngine {
+    config: EngineConfig,
+    tally: EngineTally,
+}
+
+impl DecodeEngine {
+    /// An engine with default configuration (all cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        assert!(config.shard_shots > 0, "shard_shots must be positive");
+        Self {
+            config,
+            tally: EngineTally::default(),
+        }
+    }
+
+    /// An engine pinned to `threads` workers (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        Self::with_config(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Live lifetime counters (streamed as shards retire).
+    pub fn tally(&self) -> &EngineTally {
+        &self.tally
+    }
+
+    fn effective_threads(&self, shards: usize) -> usize {
+        let hw = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        hw.min(shards).max(1)
+    }
+
+    /// Runs one campaign; equivalent to a single-job [`Self::run_batch`].
+    pub fn run(&self, trial: &TrialConfig, shots: usize, base_seed: u64) -> McResult {
+        let job = McJob {
+            trial: *trial,
+            shots,
+            base_seed,
+        };
+        self.run_batch(std::slice::from_ref(&job))
+            .pop()
+            .expect("one job in, one result out")
+    }
+
+    /// Runs many campaigns through one shared worker pool, returning one
+    /// aggregate per job in job order.
+    ///
+    /// All jobs' shards go onto a single queue, so a sweep's cheap
+    /// points do not leave workers idle while an expensive point
+    /// finishes — cross-job work stealing for free.
+    pub fn run_batch(&self, jobs: &[McJob]) -> Vec<McResult> {
+        let mut shards = Vec::new();
+        for (job_idx, job) in jobs.iter().enumerate() {
+            let mut start = 0;
+            while start < job.shots {
+                let len = self.config.shard_shots.min(job.shots - start);
+                shards.push(Shard {
+                    job: job_idx,
+                    start,
+                    len,
+                });
+                start += len;
+            }
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let threads = self.effective_threads(shards.len());
+
+        let per_worker: Vec<Vec<(usize, McResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = TrialScratch::new();
+                        let mut outcome = TrialOutcome::default();
+                        let mut retired: Vec<(usize, McResult)> = Vec::new();
+                        loop {
+                            let shard_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(shard) = shards.get(shard_idx) else {
+                                break;
+                            };
+                            let job = &jobs[shard.job];
+                            let mut partial = McResult::default();
+                            for k in 0..shard.len {
+                                let seed =
+                                    job.base_seed.wrapping_add((shard.start + k) as u64);
+                                run_trial_into(&job.trial, seed, &mut scratch, &mut outcome);
+                                partial.absorb(&outcome);
+                            }
+                            self.tally.absorb(&partial);
+                            retired.push((shard_idx, partial));
+                        }
+                        retired
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+
+        // Deterministic aggregation: merge partials in shard order, which
+        // depends only on the job list and shard size — never on which
+        // worker ran what, or when.
+        let mut flat: Vec<(usize, McResult)> = per_worker.into_iter().flatten().collect();
+        flat.sort_unstable_by_key(|&(shard_idx, _)| shard_idx);
+        let mut results = vec![McResult::default(); jobs.len()];
+        for (shard_idx, partial) in flat {
+            results[shards[shard_idx].job].merge(partial);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trials::DecoderKind;
+
+    fn campaign(threads: usize, shard_shots: usize) -> McResult {
+        let engine = DecodeEngine::with_config(EngineConfig {
+            threads,
+            shard_shots,
+        });
+        let cfg = TrialConfig::standard(5, 0.03, DecoderKind::BatchQecool);
+        engine.run(&cfg, 150, 42)
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let reference = campaign(1, DEFAULT_SHARD_SHOTS);
+        for threads in [2, 4, 8] {
+            let parallel = campaign(threads, DEFAULT_SHARD_SHOTS);
+            assert_eq!(parallel.shots, reference.shots, "{threads} threads");
+            assert_eq!(parallel.failures, reference.failures);
+            assert_eq!(parallel.overflows, reference.overflows);
+            assert_eq!(parallel.matches, reference.matches);
+            assert_eq!(parallel.layer_cycles, reference.layer_cycles);
+            assert_eq!(parallel.vertical_hist, reference.vertical_hist);
+        }
+    }
+
+    #[test]
+    fn shard_size_does_not_change_results() {
+        let reference = campaign(4, 64);
+        for shard_shots in [1, 7, 150, 1000] {
+            let chunked = campaign(4, shard_shots);
+            assert_eq!(chunked.failures, reference.failures, "shard {shard_shots}");
+            assert_eq!(chunked.layer_cycles, reference.layer_cycles);
+        }
+    }
+
+    #[test]
+    fn engine_matches_serial_trials() {
+        let cfg = TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool);
+        let mc = DecodeEngine::new().run(&cfg, 80, 9);
+        let serial_failures = (0..80u64)
+            .filter(|i| crate::trials::run_trial(&cfg, 9 + i).logical_error)
+            .count();
+        assert_eq!(mc.failures, serial_failures);
+    }
+
+    #[test]
+    fn batch_results_are_per_job_and_job_ordered() {
+        let low = TrialConfig::standard(3, 0.001, DecoderKind::BatchQecool);
+        let high = TrialConfig::standard(3, 0.15, DecoderKind::BatchQecool);
+        let jobs = [
+            McJob {
+                trial: low,
+                shots: 60,
+                base_seed: 1,
+            },
+            McJob {
+                trial: high,
+                shots: 90,
+                base_seed: 2,
+            },
+        ];
+        let results = DecodeEngine::new().run_batch(&jobs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].shots, 60);
+        assert_eq!(results[1].shots, 90);
+        assert!(
+            results[0].failures < results[1].failures,
+            "p=0.001 ({}) should fail less than p=0.15 ({})",
+            results[0].failures,
+            results[1].failures
+        );
+        // Batch equals running each job alone.
+        let alone = DecodeEngine::new().run(&high, 90, 2);
+        assert_eq!(alone.failures, results[1].failures);
+        assert_eq!(alone.layer_cycles, results[1].layer_cycles);
+    }
+
+    #[test]
+    fn tally_streams_lifetime_totals() {
+        let engine = DecodeEngine::with_threads(2);
+        let cfg = TrialConfig::standard(3, 0.1, DecoderKind::BatchQecool);
+        let a = engine.run(&cfg, 50, 0);
+        let b = engine.run(&cfg, 30, 50);
+        assert_eq!(engine.tally().shots(), 80);
+        assert_eq!(
+            engine.tally().failures(),
+            (a.failures + b.failures) as u64
+        );
+        assert_eq!(engine.tally().matches(), a.matches + b.matches);
+    }
+
+    #[test]
+    fn zero_shots_is_a_clean_noop() {
+        let cfg = TrialConfig::standard(3, 0.01, DecoderKind::BatchQecool);
+        let mc = DecodeEngine::new().run(&cfg, 0, 5);
+        assert_eq!(mc.shots, 0);
+        assert_eq!(mc.failures, 0);
+    }
+
+    #[test]
+    fn mixed_decoder_jobs_share_one_pool() {
+        let jobs = [
+            McJob {
+                trial: TrialConfig::standard(3, 0.02, DecoderKind::BatchQecool),
+                shots: 40,
+                base_seed: 3,
+            },
+            McJob {
+                trial: TrialConfig::standard(3, 0.02, DecoderKind::Mwpm),
+                shots: 40,
+                base_seed: 3,
+            },
+            McJob {
+                trial: TrialConfig::standard(3, 0.02, DecoderKind::UnionFind),
+                shots: 40,
+                base_seed: 3,
+            },
+        ];
+        let results = DecodeEngine::with_threads(2).run_batch(&jobs);
+        assert!(results.iter().all(|r| r.shots == 40));
+    }
+}

@@ -1,6 +1,7 @@
 //! Sweep drivers: the reusable loops behind the paper's figures/tables.
 
-use crate::montecarlo::{run_monte_carlo, McResult};
+use crate::engine::{DecodeEngine, McJob};
+use crate::montecarlo::McResult;
 use crate::threshold::Curve;
 use crate::trials::{DecoderKind, NoiseKind, TrialConfig};
 
@@ -50,12 +51,31 @@ impl Sweep {
     }
 }
 
-/// Runs a full `(d × p)` logical-error-rate sweep.
-///
-/// `shots_for(d, p)` lets callers spend more shots where rates are small;
-/// seeds are derived deterministically from `(d, p)` indices so the sweep
-/// is reproducible and embarrassingly parallel inside each point.
+/// Runs a full `(d × p)` logical-error-rate sweep on a fresh
+/// [`DecodeEngine`]; see [`sweep_on`].
 pub fn sweep<F>(
+    decoder: DecoderKind,
+    noise: NoiseKind,
+    ds: &[usize],
+    ps: &[f64],
+    base_seed: u64,
+    shots_for: F,
+) -> Sweep
+where
+    F: FnMut(usize, f64) -> usize,
+{
+    sweep_on(&DecodeEngine::new(), decoder, noise, ds, ps, base_seed, shots_for)
+}
+
+/// Runs a full `(d × p)` logical-error-rate sweep on the given engine.
+///
+/// `shots_for(d, p)` lets callers spend more shots where rates are
+/// small; seeds are derived deterministically from `(d, p)` indices so
+/// the sweep is reproducible. All points go onto the engine's queue as
+/// one batch, so workers drain cheap points and heavy points from the
+/// same pool instead of synchronizing per point.
+pub fn sweep_on<F>(
+    engine: &DecodeEngine,
     decoder: DecoderKind,
     noise: NoiseKind,
     ds: &[usize],
@@ -66,10 +86,10 @@ pub fn sweep<F>(
 where
     F: FnMut(usize, f64) -> usize,
 {
-    let mut out = Sweep::default();
+    let mut jobs = Vec::with_capacity(ds.len() * ps.len());
     for (di, &d) in ds.iter().enumerate() {
         for (pi, &p) in ps.iter().enumerate() {
-            let cfg = TrialConfig {
+            let trial = TrialConfig {
                 d,
                 p,
                 rounds: if noise == NoiseKind::CodeCapacity { 1 } else { d },
@@ -77,16 +97,29 @@ where
                 noise,
                 boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
             };
-            let shots = shots_for(d, p);
             let seed = base_seed
                 .wrapping_add(di as u64 * 1_000_003)
                 .wrapping_add(pi as u64 * 7_919)
                 .wrapping_mul(2_654_435_761);
-            let mc = run_monte_carlo(&cfg, shots, seed);
-            out.points.push(SweepPoint { d, p, mc });
+            jobs.push(McJob {
+                trial,
+                shots: shots_for(d, p),
+                base_seed: seed,
+            });
         }
     }
-    out
+    let results = engine.run_batch(&jobs);
+    Sweep {
+        points: jobs
+            .iter()
+            .zip(results)
+            .map(|(job, mc)| SweepPoint {
+                d: job.trial.d,
+                p: job.trial.p,
+                mc,
+            })
+            .collect(),
+    }
 }
 
 /// Log-spaced grid of `n` points from `lo` to `hi` inclusive.

@@ -6,8 +6,13 @@
 //!
 //! * [`trials`] — one fault-tolerant memory experiment per decoder
 //!   (batch-QECOOL, on-line QECOOL with a cycle budget, exact MWPM), with
-//!   phenomenological or code-capacity noise;
-//! * [`montecarlo`] — reproducible multi-threaded trial campaigns;
+//!   phenomenological or code-capacity noise, plus the reusable
+//!   [`TrialScratch`](trials::TrialScratch) worker state;
+//! * [`engine`] — the parallel streaming decode engine: a lock-free
+//!   shard queue feeding zero-per-shot-allocation workers, with
+//!   thread-count-independent aggregation;
+//! * [`montecarlo`] — the [`McResult`] aggregate and the classic
+//!   single-campaign wrapper over the engine;
 //! * [`stats`] — binomial rate estimates (Wilson intervals) and streaming
 //!   cycle aggregates;
 //! * [`threshold`] — accuracy-threshold (`p_th`) estimation from curve
@@ -33,6 +38,7 @@
 #![deny(unsafe_code)]
 
 pub mod dual_sector;
+pub mod engine;
 pub mod experiments;
 pub mod montecarlo;
 pub mod stats;
@@ -40,7 +46,8 @@ pub mod threshold;
 pub mod trials;
 
 pub use dual_sector::{dual_sector_error_rate, run_dual_sector_trial, DualSectorOutcome};
-pub use experiments::{log_grid, sweep, Sweep, SweepPoint};
+pub use engine::{DecodeEngine, EngineConfig, EngineTally, McJob};
+pub use experiments::{log_grid, sweep, sweep_on, Sweep, SweepPoint};
 pub use montecarlo::{run_monte_carlo, McResult};
 pub use stats::{CycleAggregate, RateEstimate};
 pub use threshold::{estimate_threshold, Curve, ThresholdEstimate};

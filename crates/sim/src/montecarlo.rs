@@ -1,8 +1,12 @@
-//! Parallel Monte-Carlo execution of trials.
+//! Monte-Carlo aggregates and the classic single-campaign entry point.
+//!
+//! The actual parallel execution lives in [`crate::engine`]; this module
+//! keeps the [`McResult`] aggregate and the [`run_monte_carlo`]
+//! convenience wrapper every caller and test has always used.
 
+use crate::engine::DecodeEngine;
 use crate::stats::{CycleAggregate, RateEstimate};
-use crate::trials::{run_trial, TrialConfig};
-use parking_lot::Mutex;
+use crate::trials::{TrialConfig, TrialOutcome};
 
 /// Aggregated result of a Monte-Carlo campaign at one parameter point.
 #[derive(Debug, Clone, Default)]
@@ -45,7 +49,8 @@ impl McResult {
         hits as f64 / self.matches as f64
     }
 
-    fn absorb(&mut self, outcome: &crate::trials::TrialOutcome) {
+    /// Folds one trial outcome into the aggregate.
+    pub fn absorb(&mut self, outcome: &TrialOutcome) {
         self.shots += 1;
         self.failures += usize::from(outcome.logical_error);
         self.overflows += usize::from(outcome.overflow);
@@ -61,7 +66,8 @@ impl McResult {
         self.matches += outcome.matches as u64;
     }
 
-    fn merge(&mut self, other: McResult) {
+    /// Merges a partial aggregate (e.g. one engine shard) into this one.
+    pub fn merge(&mut self, other: McResult) {
         self.shots += other.shots;
         self.failures += other.failures;
         self.overflows += other.overflows;
@@ -77,8 +83,12 @@ impl McResult {
 }
 
 /// Runs `shots` independent trials of `cfg` across all available CPU
-/// cores. Trial `i` uses seed `base_seed + i`, so results are reproducible
-/// regardless of thread scheduling.
+/// cores on a fresh [`DecodeEngine`]. Trial `i` uses seed
+/// `base_seed + i`, so results are reproducible regardless of thread
+/// count and scheduling.
+///
+/// Callers running many campaigns should hold one engine and use
+/// [`DecodeEngine::run_batch`] so all campaigns share one worker pool.
 ///
 /// # Example
 ///
@@ -91,32 +101,7 @@ impl McResult {
 /// assert_eq!(result.shots, 20);
 /// ```
 pub fn run_monte_carlo(cfg: &TrialConfig, shots: usize, base_seed: u64) -> McResult {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(shots.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let total = Mutex::new(McResult::default());
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut local = McResult::default();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= shots {
-                        break;
-                    }
-                    let outcome = run_trial(cfg, base_seed + i as u64);
-                    local.absorb(&outcome);
-                }
-                total.lock().merge(local);
-            });
-        }
-    })
-    .expect("monte carlo worker panicked");
-
-    total.into_inner()
+    DecodeEngine::new().run(cfg, shots, base_seed)
 }
 
 #[cfg(test)]

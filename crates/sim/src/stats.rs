@@ -58,6 +58,76 @@ impl RateEstimate {
         let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
         ((center - half).max(0.0), (center + half).min(1.0))
     }
+
+    /// Exact Clopper–Pearson interval at 95% confidence.
+    ///
+    /// The conservative "exact" binomial interval: it always covers at
+    /// least 95%, at the cost of being wider than Wilson. Preferred for
+    /// headline numbers at the extremes (`hits = 0` or `hits = shots`),
+    /// where its closed forms `1 - (α/2)^{1/n}` / `(α/2)^{1/n}` apply.
+    pub fn clopper_pearson_interval(&self) -> (f64, f64) {
+        const ALPHA_HALF: f64 = 0.025;
+        if self.shots == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.shots;
+        let k = self.hits;
+        let lower = if k == 0 {
+            0.0
+        } else if k == n {
+            ALPHA_HALF.powf(1.0 / n as f64)
+        } else {
+            // Largest p with P(X >= k) <= α/2, i.e. binomial CDF at k-1
+            // crossing 1 - α/2 from above as p grows.
+            bisect_p(|p| binomial_cdf(k - 1, n, p) - (1.0 - ALPHA_HALF))
+        };
+        let upper = if k == n {
+            1.0
+        } else if k == 0 {
+            1.0 - ALPHA_HALF.powf(1.0 / n as f64)
+        } else {
+            // Smallest p with P(X <= k) <= α/2.
+            bisect_p(|p| binomial_cdf(k, n, p) - ALPHA_HALF)
+        };
+        (lower, upper)
+    }
+}
+
+/// Root of a monotonically decreasing function of `p` on (0, 1), by
+/// bisection to ~1e-12.
+fn bisect_p<F: Fn(f64) -> f64>(f: F) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// `P(X <= k)` for `X ~ Binomial(n, p)`, summed in log space for
+/// stability at the campaign sizes the sweeps use.
+fn binomial_cdf(k: usize, n: usize, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    let (ln_p, ln_q) = (p.ln(), (1.0 - p).ln());
+    let mut total = 0.0;
+    // ln C(n, i) built incrementally: C(n, 0) = 1.
+    let mut ln_choose = 0.0f64;
+    for i in 0..=k.min(n) {
+        if i > 0 {
+            ln_choose += ((n - i + 1) as f64).ln() - (i as f64).ln();
+        }
+        total += (ln_choose + i as f64 * ln_p + (n - i) as f64 * ln_q).exp();
+    }
+    total.min(1.0)
 }
 
 impl std::fmt::Display for RateEstimate {
@@ -163,6 +233,81 @@ mod tests {
         let (lo, hi) = RateEstimate::new(0, 100).wilson_interval();
         assert_eq!(lo, 0.0);
         assert!(hi > 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn wilson_all_failures_pins_upper_at_one() {
+        let (lo, hi) = RateEstimate::new(100, 100).wilson_interval();
+        assert!((hi - 1.0).abs() < 1e-12, "hi = {hi}");
+        assert!(lo > 0.9 && lo < 1.0, "lo = {lo}");
+    }
+
+    #[test]
+    fn clopper_pearson_zero_hits_closed_form() {
+        // Exact closed form at k = 0: upper = 1 - (α/2)^{1/n}.
+        let (lo, hi) = RateEstimate::new(0, 100).clopper_pearson_interval();
+        assert_eq!(lo, 0.0);
+        let expected = 1.0 - 0.025f64.powf(1.0 / 100.0);
+        assert!((hi - expected).abs() < 1e-12, "hi = {hi} vs {expected}");
+        // The famous rule of three: upper ≈ 3.7/n at 95%.
+        assert!(hi > 0.03 && hi < 0.04);
+    }
+
+    #[test]
+    fn clopper_pearson_all_failures_closed_form() {
+        let (lo, hi) = RateEstimate::new(100, 100).clopper_pearson_interval();
+        assert_eq!(hi, 1.0);
+        let expected = 0.025f64.powf(1.0 / 100.0);
+        assert!((lo - expected).abs() < 1e-12, "lo = {lo} vs {expected}");
+        // Mirror image of the zero-hits case.
+        let (_, hi_zero) = RateEstimate::new(0, 100).clopper_pearson_interval();
+        assert!((lo - (1.0 - hi_zero)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clopper_pearson_contains_point_estimate() {
+        for (h, n) in [(1, 50), (5, 100), (25, 50), (49, 50), (500, 1000)] {
+            let r = RateEstimate::new(h, n);
+            let (lo, hi) = r.clopper_pearson_interval();
+            assert!(lo < r.rate() && r.rate() < hi, "{h}/{n}: [{lo}, {hi}]");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_is_no_narrower_than_wilson() {
+        // The exact interval is conservative: it contains Wilson's at
+        // moderate counts.
+        for (h, n) in [(1usize, 40usize), (10, 200), (30, 60)] {
+            let r = RateEstimate::new(h, n);
+            let (wl, wh) = r.wilson_interval();
+            let (cl, ch) = r.clopper_pearson_interval();
+            assert!(cl <= wl + 1e-9, "{h}/{n}: CP lower {cl} > Wilson {wl}");
+            assert!(ch >= wh - 1e-9, "{h}/{n}: CP upper {ch} < Wilson {wh}");
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_matches_published_value() {
+        // Canonical reference point: 10 successes in 100 trials gives
+        // the 95% CP interval (0.0490, 0.1762) (e.g. Newcombe 1998).
+        let (lo, hi) = RateEstimate::new(10, 100).clopper_pearson_interval();
+        assert!((lo - 0.0490).abs() < 5e-4, "lo = {lo}");
+        assert!((hi - 0.1762).abs() < 5e-4, "hi = {hi}");
+    }
+
+    #[test]
+    fn empty_clopper_pearson_is_vacuous() {
+        assert_eq!(RateEstimate::new(0, 0).clopper_pearson_interval(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn binomial_cdf_basics() {
+        assert!((binomial_cdf(2, 2, 0.5) - 1.0).abs() < 1e-12);
+        assert!((binomial_cdf(0, 2, 0.5) - 0.25).abs() < 1e-12);
+        assert!((binomial_cdf(1, 2, 0.5) - 0.75).abs() < 1e-12);
+        assert_eq!(binomial_cdf(3, 10, 0.0), 1.0);
+        assert_eq!(binomial_cdf(3, 10, 1.0), 0.0);
     }
 
     #[test]

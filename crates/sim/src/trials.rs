@@ -109,110 +109,254 @@ pub struct TrialOutcome {
     pub matches: usize,
 }
 
+impl TrialOutcome {
+    /// Clears the outcome for reuse, keeping vector allocations — the
+    /// engine recycles one outcome per worker across millions of shots.
+    pub fn reset(&mut self) {
+        self.logical_error = false;
+        self.overflow = false;
+        self.layer_cycles.clear();
+        self.vertical_hist.clear();
+        self.matches = 0;
+    }
+}
+
+/// Reusable per-worker trial state: lattice, code patch, syndrome
+/// history and decoder instances, all warmed once and recycled across
+/// shots so the Monte-Carlo hot loop performs no per-shot construction.
+///
+/// A scratch warmed for one `(d, decoder)` combination transparently
+/// re-warms when handed a different [`TrialConfig`], so one scratch per
+/// worker thread serves arbitrary job mixes.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    lattice: Option<Lattice>,
+    patch: Option<CodePatch>,
+    history: Option<SyndromeHistory>,
+    qecool: Option<QecoolDecoder>,
+    mwpm: Option<MwpmDecoder>,
+    uf: Option<UnionFindDecoder>,
+}
+
+impl TrialScratch {
+    /// Creates an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warms the scratch for `cfg`: (re)builds whatever of the lattice,
+    /// patch, history and decoder is missing or built for a different
+    /// configuration. Idempotent and cheap when already warm.
+    fn ensure(&mut self, cfg: &TrialConfig) {
+        let stale = self.lattice.as_ref().is_none_or(|l| l.distance() != cfg.d);
+        if stale {
+            let lattice = Lattice::new(cfg.d).expect("valid code distance");
+            self.patch = Some(CodePatch::new(lattice.clone()));
+            self.history = None;
+            self.qecool = None;
+            self.mwpm = None;
+            self.uf = None;
+            self.lattice = Some(lattice);
+        }
+        let lattice = self.lattice.as_ref().expect("lattice just warmed");
+        match cfg.decoder {
+            DecoderKind::BatchQecool | DecoderKind::OnlineQecool { .. } => {
+                let config = qecool_config_for(cfg);
+                let rebuild = self
+                    .qecool
+                    .as_ref()
+                    .is_none_or(|decoder| *decoder.config() != config);
+                if rebuild {
+                    self.qecool = Some(QecoolDecoder::new(lattice.clone(), config));
+                }
+            }
+            DecoderKind::Mwpm => {
+                if self.history.is_none() {
+                    self.history = Some(SyndromeHistory::new(lattice.clone()));
+                }
+                if self.mwpm.is_none() {
+                    self.mwpm = Some(MwpmDecoder::new(lattice.clone()));
+                }
+            }
+            DecoderKind::UnionFind => {
+                if self.history.is_none() {
+                    self.history = Some(SyndromeHistory::new(lattice.clone()));
+                }
+                if self.uf.is_none() {
+                    self.uf = Some(UnionFindDecoder::new(lattice.clone()));
+                }
+            }
+        }
+    }
+}
+
+fn qecool_config_for(cfg: &TrialConfig) -> QecoolConfig {
+    match cfg.decoder {
+        DecoderKind::BatchQecool => {
+            QecoolConfig::batch(cfg.rounds + 1).with_boundary_penalty(cfg.boundary_penalty)
+        }
+        DecoderKind::OnlineQecool { .. } => {
+            QecoolConfig::online().with_boundary_penalty(cfg.boundary_penalty)
+        }
+        _ => unreachable!("qecool config requested for a non-QECOOL decoder"),
+    }
+}
+
 /// Runs one trial with a deterministic seed.
+///
+/// Convenience wrapper over [`run_trial_into`] with cold scratch; batch
+/// callers should hold a [`TrialScratch`] per worker instead.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.d` is not a valid code distance.
 pub fn run_trial(cfg: &TrialConfig, seed: u64) -> TrialOutcome {
-    let lattice = Lattice::new(cfg.d).expect("valid code distance");
+    let mut scratch = TrialScratch::new();
+    let mut out = TrialOutcome::default();
+    run_trial_into(cfg, seed, &mut scratch, &mut out);
+    out
+}
+
+/// Runs one trial with a deterministic seed, reusing `scratch` for all
+/// heavy state and writing the result into `out`.
+///
+/// The outcome is identical to [`run_trial`] for the same `(cfg, seed)`
+/// — scratch reuse is invisible to the physics because every component
+/// is reset before the shot.
+///
+/// # Panics
+///
+/// Panics if `cfg.d` is not a valid code distance.
+pub fn run_trial_into(
+    cfg: &TrialConfig,
+    seed: u64,
+    scratch: &mut TrialScratch,
+    out: &mut TrialOutcome,
+) {
+    scratch.ensure(cfg);
+    out.reset();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut patch = CodePatch::new(lattice.clone());
+    // Disjoint field borrows: each decode path picks what it needs.
+    let TrialScratch {
+        lattice: _,
+        patch,
+        history,
+        qecool,
+        mwpm,
+        uf,
+    } = scratch;
+    let patch = patch.as_mut().expect("patch warmed");
+    patch.reset();
     match cfg.noise {
         NoiseKind::Phenomenological => {
             let noise = PhenomenologicalNoise::symmetric(cfg.p);
-            run_with_noise(cfg, lattice, &mut patch, &noise, &mut rng)
+            run_with_noise(cfg, patch, history, qecool, mwpm, uf, &noise, &mut rng, out);
         }
         NoiseKind::CodeCapacity => {
             let noise = CodeCapacityNoise::new(cfg.p);
-            run_with_noise(cfg, lattice, &mut patch, &noise, &mut rng)
+            run_with_noise(cfg, patch, history, qecool, mwpm, uf, &noise, &mut rng, out);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_with_noise<N: NoiseModel>(
     cfg: &TrialConfig,
-    lattice: Lattice,
     patch: &mut CodePatch,
+    history: &mut Option<SyndromeHistory>,
+    qecool: &mut Option<QecoolDecoder>,
+    mwpm: &Option<MwpmDecoder>,
+    uf: &Option<UnionFindDecoder>,
     noise: &N,
     rng: &mut ChaCha8Rng,
-) -> TrialOutcome {
+    out: &mut TrialOutcome,
+) {
     match cfg.decoder {
-        DecoderKind::Mwpm => run_mwpm(cfg, lattice, patch, noise, rng),
-        DecoderKind::UnionFind => run_union_find(cfg, lattice, patch, noise, rng),
-        DecoderKind::BatchQecool => run_batch_qecool(cfg, lattice, patch, noise, rng),
+        DecoderKind::Mwpm => {
+            let history = history.as_mut().expect("history warmed");
+            let decoder = mwpm.as_ref().expect("mwpm warmed");
+            run_mwpm(cfg, patch, history, decoder, noise, rng, out);
+        }
+        DecoderKind::UnionFind => {
+            let history = history.as_mut().expect("history warmed");
+            let decoder = uf.as_ref().expect("uf warmed");
+            run_union_find(cfg, patch, history, decoder, noise, rng, out);
+        }
+        DecoderKind::BatchQecool => {
+            let decoder = qecool.as_mut().expect("qecool warmed");
+            run_batch_qecool(cfg, patch, decoder, noise, rng, out);
+        }
         DecoderKind::OnlineQecool { budget_cycles } => {
-            run_online_qecool(cfg, lattice, patch, noise, rng, budget_cycles)
+            let decoder = qecool.as_mut().expect("qecool warmed");
+            run_online_qecool(cfg, patch, decoder, noise, rng, budget_cycles, out);
         }
     }
 }
 
-fn finish(patch: &CodePatch) -> TrialOutcome {
+fn finish_into(patch: &CodePatch, out: &mut TrialOutcome) {
     debug_assert!(
         patch.syndrome_is_trivial(),
         "decoder left residual syndrome"
     );
-    TrialOutcome {
-        logical_error: patch.has_logical_error(),
-        ..TrialOutcome::default()
-    }
+    out.logical_error = patch.has_logical_error();
 }
 
 fn run_mwpm<N: NoiseModel>(
     cfg: &TrialConfig,
-    lattice: Lattice,
     patch: &mut CodePatch,
+    history: &mut SyndromeHistory,
+    decoder: &MwpmDecoder,
     noise: &N,
     rng: &mut ChaCha8Rng,
-) -> TrialOutcome {
-    let mut history = SyndromeHistory::new(lattice.clone());
+    out: &mut TrialOutcome,
+) {
+    history.clear();
     for _ in 0..cfg.rounds {
         history.push(patch.noisy_round(noise, rng));
     }
     history.push(patch.perfect_round());
-    let decoder = MwpmDecoder::new(lattice);
-    let outcome = decoder.decode(&history).expect("doubled graph is matchable");
+    let outcome = decoder.decode(history).expect("doubled graph is matchable");
     outcome.apply(patch);
-    let mut result = finish(patch);
-    result.matches = outcome.matches.len();
+    finish_into(patch, out);
+    out.matches = outcome.matches.len();
     for m in &outcome.matches {
         let dt = m.vertical_extent();
-        if result.vertical_hist.len() <= dt {
-            result.vertical_hist.resize(dt + 1, 0);
+        if out.vertical_hist.len() <= dt {
+            out.vertical_hist.resize(dt + 1, 0);
         }
-        result.vertical_hist[dt] += 1;
+        out.vertical_hist[dt] += 1;
     }
-    result
 }
 
 fn run_union_find<N: NoiseModel>(
     cfg: &TrialConfig,
-    lattice: Lattice,
     patch: &mut CodePatch,
+    history: &mut SyndromeHistory,
+    decoder: &UnionFindDecoder,
     noise: &N,
     rng: &mut ChaCha8Rng,
-) -> TrialOutcome {
-    let mut history = SyndromeHistory::new(lattice.clone());
+    out: &mut TrialOutcome,
+) {
+    history.clear();
     for _ in 0..cfg.rounds {
         history.push(patch.noisy_round(noise, rng));
     }
     history.push(patch.perfect_round());
-    let outcome = UnionFindDecoder::new(lattice).decode(&history);
+    let outcome = decoder.decode(history);
     outcome.apply(patch);
-    let mut result = finish(patch);
-    result.matches = outcome.corrections.len();
-    result
+    finish_into(patch, out);
+    out.matches = outcome.corrections.len();
 }
 
 fn run_batch_qecool<N: NoiseModel>(
     cfg: &TrialConfig,
-    lattice: Lattice,
     patch: &mut CodePatch,
+    decoder: &mut QecoolDecoder,
     noise: &N,
     rng: &mut ChaCha8Rng,
-) -> TrialOutcome {
-    let config = QecoolConfig::batch(cfg.rounds + 1).with_boundary_penalty(cfg.boundary_penalty);
-    let mut decoder = QecoolDecoder::new(lattice, config);
+    out: &mut TrialOutcome,
+) {
+    decoder.reset();
     for _ in 0..cfg.rounds {
         let round = patch.noisy_round(noise, rng);
         decoder
@@ -225,54 +369,53 @@ fn run_batch_qecool<N: NoiseModel>(
         .expect("batch capacity covers the window");
     let report = decoder.drain();
     patch.apply_corrections(report.corrections.iter().copied());
-    let mut result = finish(patch);
-    fill_qecool_telemetry(&mut result, &decoder);
-    result
+    finish_into(patch, out);
+    fill_qecool_telemetry(out, decoder);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_online_qecool<N: NoiseModel>(
     cfg: &TrialConfig,
-    lattice: Lattice,
     patch: &mut CodePatch,
+    decoder: &mut QecoolDecoder,
     noise: &N,
     rng: &mut ChaCha8Rng,
     budget_cycles: u64,
-) -> TrialOutcome {
-    let config = QecoolConfig::online().with_boundary_penalty(cfg.boundary_penalty);
-    let mut decoder = QecoolDecoder::new(lattice, config);
+    out: &mut TrialOutcome,
+) {
+    decoder.reset();
     for _ in 0..cfg.rounds {
         let round = patch.noisy_round(noise, rng);
         if decoder.push_round(&round).is_err() {
-            return overflow_outcome(&decoder);
+            overflow_outcome(decoder, out);
+            return;
         }
         let report = decoder.run(Some(budget_cycles));
         patch.apply_corrections(report.corrections.iter().copied());
     }
     let closing = patch.perfect_round();
     if decoder.push_round(&closing).is_err() {
-        return overflow_outcome(&decoder);
+        overflow_outcome(decoder, out);
+        return;
     }
     let report = decoder.drain();
     patch.apply_corrections(report.corrections.iter().copied());
-    let mut result = finish(patch);
-    fill_qecool_telemetry(&mut result, &decoder);
-    result
+    finish_into(patch, out);
+    fill_qecool_telemetry(out, decoder);
 }
 
-fn overflow_outcome(decoder: &QecoolDecoder) -> TrialOutcome {
-    let mut result = TrialOutcome {
-        logical_error: true,
-        overflow: true,
-        ..TrialOutcome::default()
-    };
-    fill_qecool_telemetry(&mut result, decoder);
-    result
+fn overflow_outcome(decoder: &QecoolDecoder, out: &mut TrialOutcome) {
+    out.logical_error = true;
+    out.overflow = true;
+    fill_qecool_telemetry(out, decoder);
 }
 
-fn fill_qecool_telemetry(result: &mut TrialOutcome, decoder: &QecoolDecoder) {
-    result.layer_cycles = decoder.stats().layer_cycles().to_vec();
-    result.vertical_hist = decoder.stats().vertical_extent_histogram();
-    result.matches = decoder.stats().matches().len();
+fn fill_qecool_telemetry(out: &mut TrialOutcome, decoder: &QecoolDecoder) {
+    let stats = decoder.stats();
+    out.layer_cycles.clear();
+    out.layer_cycles.extend_from_slice(stats.layer_cycles());
+    stats.vertical_extent_histogram_into(&mut out.vertical_hist);
+    out.matches = stats.matches().len();
 }
 
 #[cfg(test)]
@@ -362,6 +505,32 @@ mod tests {
         let out = run_trial(&cfg, 3);
         // One closing layer + the noisy layer = 2 retired layers.
         assert_eq!(out.layer_cycles.len(), 2);
+    }
+
+    #[test]
+    fn warm_scratch_reproduces_cold_trials() {
+        // Scratch reuse must be invisible: interleave decoders and
+        // distances through ONE scratch and compare against fresh runs.
+        let mut scratch = TrialScratch::new();
+        let mut out = TrialOutcome::default();
+        let mix = [
+            TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool),
+            TrialConfig::standard(3, 0.04, DecoderKind::Mwpm),
+            TrialConfig::standard(5, 0.04, DecoderKind::UnionFind),
+            TrialConfig::standard(5, 0.04, DecoderKind::OnlineQecool { budget_cycles: 2000 }),
+            TrialConfig::standard(3, 0.04, DecoderKind::BatchQecool),
+        ];
+        for seed in 0..6u64 {
+            for cfg in &mix {
+                run_trial_into(cfg, seed, &mut scratch, &mut out);
+                let fresh = run_trial(cfg, seed);
+                assert_eq!(out.logical_error, fresh.logical_error, "{cfg:?} seed {seed}");
+                assert_eq!(out.overflow, fresh.overflow);
+                assert_eq!(out.layer_cycles, fresh.layer_cycles);
+                assert_eq!(out.vertical_hist, fresh.vertical_hist);
+                assert_eq!(out.matches, fresh.matches);
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,12 @@ impl SyndromeHistory {
         self.rounds.len()
     }
 
+    /// Discards all collected rounds, keeping the allocation for reuse
+    /// across Monte-Carlo shots.
+    pub fn clear(&mut self) {
+        self.rounds.clear();
+    }
+
     /// `true` when no round has been pushed.
     pub fn is_empty(&self) -> bool {
         self.rounds.is_empty()

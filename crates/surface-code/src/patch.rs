@@ -68,6 +68,15 @@ impl CodePatch {
         &self.lattice
     }
 
+    /// Returns the patch to its freshly-created state (no errors, clean
+    /// latch, round counter at zero) without reallocating, so trial
+    /// scratch buffers can be reused across Monte-Carlo shots.
+    pub fn reset(&mut self) {
+        self.errors.clear();
+        self.last_reported.clear();
+        self.rounds_measured = 0;
+    }
+
     /// Number of measurement rounds performed so far.
     pub fn rounds_measured(&self) -> usize {
         self.rounds_measured

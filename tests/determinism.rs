@@ -1,7 +1,9 @@
 //! Reproducibility guarantees: identical seeds must yield identical
 //! physics, decoding decisions and telemetry across the whole stack.
 
-use qecool_repro::sim::{run_monte_carlo, run_trial, DecoderKind, TrialConfig};
+use qecool_repro::sim::{
+    run_monte_carlo, run_trial, DecodeEngine, DecoderKind, EngineConfig, McResult, TrialConfig,
+};
 use qecool_repro::surface_code::{CodePatch, Lattice, PhenomenologicalNoise};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -54,6 +56,41 @@ fn different_seeds_give_different_noise() {
     };
     assert_ne!(sample(1), sample(2), "seeds should decorrelate the noise");
     assert_eq!(sample(3), sample(3));
+}
+
+/// The parallel engine's aggregates are a pure function of `(cfg, shots,
+/// base_seed)` — worker-thread count must never leak into any field of
+/// the result, scalar or vector.
+#[test]
+fn engine_aggregates_identical_across_worker_counts() {
+    let assert_identical = |a: &McResult, b: &McResult, label: &str| {
+        assert_eq!(a.shots, b.shots, "{label}: shots");
+        assert_eq!(a.failures, b.failures, "{label}: failures");
+        assert_eq!(a.overflows, b.overflows, "{label}: overflows");
+        assert_eq!(a.matches, b.matches, "{label}: matches");
+        assert_eq!(a.layer_cycles, b.layer_cycles, "{label}: layer cycles");
+        assert_eq!(a.vertical_hist, b.vertical_hist, "{label}: vertical hist");
+    };
+    // Cover both an overflow-free batch campaign and an online campaign
+    // with real overflow pressure (d = 9 at a starved budget).
+    let campaigns = [
+        TrialConfig::standard(5, 0.03, DecoderKind::BatchQecool),
+        TrialConfig::standard(9, 0.02, DecoderKind::OnlineQecool { budget_cycles: 200 }),
+    ];
+    for cfg in campaigns {
+        let reference = DecodeEngine::with_threads(1).run(&cfg, 160, 2021);
+        for threads in [2usize, 8] {
+            let parallel = DecodeEngine::with_threads(threads).run(&cfg, 160, 2021);
+            assert_identical(&parallel, &reference, &format!("{threads} threads"));
+        }
+        // Shard size is a pure tuning knob as well.
+        let rechunked = DecodeEngine::with_config(EngineConfig {
+            threads: 8,
+            shard_shots: 13,
+        })
+        .run(&cfg, 160, 2021);
+        assert_identical(&rechunked, &reference, "shard_shots = 13");
+    }
 }
 
 #[test]

@@ -1,0 +1,221 @@
+//! Offline stand-in for the slice of the `criterion` API this workspace's
+//! benches use: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a calibration pass sizes the
+//! batch to roughly [`TARGET_RUN_TIME`], then the mean time per iteration
+//! is reported on stdout. There are no statistics, plots or baselines;
+//! the point is that `cargo bench` runs and prints comparable numbers
+//! without registry access.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Total measured wall time aimed at per benchmark.
+const TARGET_RUN_TIME: Duration = Duration::from_millis(200);
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks (e.g. one per code distance).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, running `setup` untimed before each call.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    // Calibration: one iteration to estimate cost, then size the batch.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iterations = (TARGET_RUN_TIME.as_nanos() / per_iter.as_nanos())
+        .clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_nanos() as f64 / iterations as f64;
+    println!("{name:<40} {:>12} iters   {:>14} /iter", iterations, format_ns(mean));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function calling each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(13).id, "13");
+        assert_eq!(BenchmarkId::new("decode", 9).id, "decode/9");
+    }
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iterations: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+        let mut with_setup = 0u64;
+        b.iter_with_setup(|| 2u64, |x| with_setup += x);
+        assert_eq!(with_setup, 20);
+    }
+}

@@ -1,0 +1,66 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use rand::{Rng, RngCore};
+
+use crate::Strategy;
+
+/// Admissible element counts for [`vec`]: built from a `usize` (exact
+/// length) or a `Range<usize>` (half-open).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            lo: len,
+            hi_exclusive: len + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self {
+            lo: range.start,
+            hi_exclusive: range.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        Self {
+            lo: *range.start(),
+            hi_exclusive: *range.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` (see [`vec`]).
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+        let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors whose length lies in `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline mini property-testing harness covering the slice of the
+//! `proptest` API this workspace uses: the [`proptest!`] macro with
+//! `pattern in strategy` arguments, `prop_assert*` macros, [`any`],
+//! integer-range strategies, [`Just`], [`prop_oneof!`] and
+//! [`collection::vec`].
+//!
+//! Semantics are simplified relative to upstream: cases are drawn from a
+//! deterministic per-test seed (derived from the test name) and failures
+//! are plain panics — there is no shrinking. That keeps seeded CI runs
+//! reproducible without any registry access.
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, OneOf,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-block configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the seeded CI suite fast
+        // while still exercising the property.
+        Self { cases: 64 }
+    }
+}
+
+/// The generator driving case sampling.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Creates the deterministic generator for one named test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+/// Marker returned by [`any`]; strategies exist per supported type.
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing one fixed value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (built by [`prop_oneof!`]).
+pub struct OneOf<S>(Vec<S>);
+
+impl<S> OneOf<S> {
+    /// Wraps a non-empty list of alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self(options)
+    }
+}
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// Uniform choice among strategies (`prop_oneof![Just(3), Just(5)]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($option),+])
+    };
+}
+
+/// Property assertion; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: `#[test] fn name(x in strategy, ...) { body }`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = ($strategy).sample(&mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn oneof_only_yields_members() {
+        let strategy = prop_oneof![Just(3usize), Just(5), Just(7)];
+        let mut rng = crate::test_rng("oneof");
+        for _ in 0..100 {
+            assert!([3, 5, 7].contains(&strategy.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let strategy = crate::collection::vec(any::<bool>(), 2..5);
+        let mut rng = crate::test_rng("vecsize");
+        for _ in 0..100 {
+            let v = strategy.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_vec_size() {
+        let strategy = crate::collection::vec(any::<u64>(), 3);
+        let mut rng = crate::test_rng("vecexact");
+        assert_eq!(strategy.sample(&mut rng).len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies and config together.
+        #[test]
+        fn macro_end_to_end(x in 1usize..10, flip in any::<bool>()) {
+            prop_assert!((1..10).contains(&x));
+            let bit = usize::from(flip);
+            prop_assert!(bit <= 1);
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream generator
+//! implementing the vendored [`rand`] traits.
+//!
+//! The block function is the genuine ChaCha construction (IETF constants,
+//! 8 rounds), so the stream has ChaCha's statistical quality; only
+//! word-consumption order relative to upstream `rand_chacha` is
+//! unspecified, which the workspace does not rely on.
+
+#![deny(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means the buffer is exhausted.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14-15 (the nonce) stay zero: one stream per key.
+        let input = state;
+        for _ in 0..4 {
+            // One double round: 4 column + 4 diagonal quarter rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(&input)) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.idx];
+        self.idx += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(0);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let same = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_key_block_is_mixed() {
+        // The keystream of the all-zero key must not be the identity state.
+        let mut rng = ChaCha8Rng::from_seed([0; 32]);
+        let words: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(words[..4], CHACHA_CONSTANTS);
+        assert!(words.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn bit_balance_is_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        // 65536 bits total; expect ~32768 ones.
+        assert!((31_500..33_500).contains(&ones), "ones = {ones}");
+    }
+}

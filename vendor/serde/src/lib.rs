@@ -1,0 +1,8 @@
+//! Offline facade for `serde`: re-exports the no-op derive macros so
+//! `use serde::{Deserialize, Serialize}` and `#[derive(...)]` compile
+//! without registry access. No serialization actually happens until the
+//! real crate is restored.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` while the build has
+//! no registry access. The workspace currently derives `Serialize` /
+//! `Deserialize` for forward compatibility but never serializes, so
+//! expanding to nothing is sound. Swap back to real serde to get wire
+//! formats.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
