@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qecool::{QecoolConfig, QecoolDecoder};
 use qecool_mwpm::MwpmDecoder;
-use qecool_uf::UnionFindDecoder;
 use qecool_surface_code::{CodePatch, Lattice, PhenomenologicalNoise, SyndromeHistory};
+use qecool_uf::UnionFindDecoder;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -63,8 +63,7 @@ fn bench_online_layer(c: &mut Criterion) {
                     // Fresh decoder + patch with a few warm-up layers.
                     let mut rng = ChaCha8Rng::seed_from_u64(7);
                     let mut patch = CodePatch::new(lattice.clone());
-                    let mut decoder =
-                        QecoolDecoder::new(lattice.clone(), QecoolConfig::online());
+                    let mut decoder = QecoolDecoder::new(lattice.clone(), QecoolConfig::online());
                     for _ in 0..3 {
                         let round = patch.noisy_round(&noise, &mut rng);
                         decoder.push_round(&round).unwrap();

@@ -54,5 +54,10 @@ fn bench_sfq_rollup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_syndrome_round, bench_regfile, bench_sfq_rollup);
+criterion_group!(
+    benches,
+    bench_syndrome_round,
+    bench_regfile,
+    bench_sfq_rollup
+);
 criterion_main!(benches);

@@ -18,7 +18,14 @@ use qecool_sim::{DecoderKind, TrialConfig};
 fn main() {
     let opts = Options::parse(600);
     let engine = opts.engine();
-    let mut table = TextTable::new(["study", "setting", "d", "p", "logical error rate (95% CI)", "overflow"]);
+    let mut table = TextTable::new([
+        "study",
+        "setting",
+        "d",
+        "p",
+        "logical error rate (95% CI)",
+        "overflow",
+    ]);
 
     // 1. Boundary penalty sweep in the threshold region (batch mode).
     for penalty in [0u64, 1, 2, 3] {

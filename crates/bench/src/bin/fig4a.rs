@@ -54,9 +54,7 @@ fn main() {
             None => println!("{name}: no curve crossing in the sampled range"),
         }
     }
-    println!(
-        "paper reference: p_th(batch-QECOOL) ~= 0.015, p_th(MWPM) ~= 0.03 (Fig. 4(a))"
-    );
+    println!("paper reference: p_th(batch-QECOOL) ~= 0.015, p_th(MWPM) ~= 0.03 (Fig. 4(a))");
     println!("\n{}", table.render());
     opts.write_csv(&table.to_csv());
 }

@@ -30,7 +30,10 @@ fn main() {
         "frac dt>=3",
     ]);
 
-    eprintln!("sweeping batch-QECOOL match telemetry ({} shots/point)...", opts.shots);
+    eprintln!(
+        "sweeping batch-QECOOL match telemetry ({} shots/point)...",
+        opts.shots
+    );
     let result = sweep_on(
         &engine,
         DecoderKind::BatchQecool,

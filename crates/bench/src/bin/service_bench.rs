@@ -1,0 +1,216 @@
+//! Throughput/latency benchmark of the long-lived decoding service:
+//! many concurrent syndrome-stream sessions decoded under the SFQ cycle
+//! budget.
+//!
+//! Each session models one logical qubit: its own patch, its own seeded
+//! noise stream, its own decoder state inside the service. Every
+//! benchmark round pushes one detection round per session, pumps the
+//! service's worker pool, polls corrections and applies them — the
+//! steady-state serving loop. Reported: wall-clock throughput
+//! (rounds/s across all sessions) and decode-cycle latency against the
+//! per-round budget.
+//!
+//! ```text
+//! cargo run --release -p qecool-bench --bin service_bench -- \
+//!     [--sessions N] [--rounds N] [--threads N] [--d D] [--p P] \
+//!     [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke]
+//! ```
+
+use std::time::Instant;
+
+use qecool_bench::{parse_or_die, parse_threads, require_value, usage_error, TextTable};
+use qecool_sfq::budget::CycleBudget;
+use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId};
+use qecool_surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct BenchOptions {
+    sessions: usize,
+    rounds: usize,
+    threads: usize,
+    d: usize,
+    p: f64,
+    ghz: f64,
+    backend: ServiceBackend,
+    seed: u64,
+}
+
+impl BenchOptions {
+    fn parse() -> Self {
+        let mut opts = Self {
+            sessions: 64,
+            rounds: 2000,
+            threads: 0,
+            d: 5,
+            p: 0.01,
+            ghz: 2.0,
+            backend: ServiceBackend::Qecool,
+            seed: 2021,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--sessions" => {
+                    let v = require_value(&mut args, "--sessions");
+                    opts.sessions = parse_or_die(&v, "--sessions", "a positive integer");
+                    if opts.sessions == 0 {
+                        usage_error("--sessions must be >= 1");
+                    }
+                }
+                "--rounds" => {
+                    let v = require_value(&mut args, "--rounds");
+                    opts.rounds = parse_or_die(&v, "--rounds", "a positive integer");
+                    if opts.rounds == 0 {
+                        usage_error("--rounds must be >= 1");
+                    }
+                }
+                "--threads" => {
+                    let v = require_value(&mut args, "--threads");
+                    opts.threads = parse_threads(&v);
+                }
+                "--d" => {
+                    let v = require_value(&mut args, "--d");
+                    opts.d = parse_or_die(&v, "--d", "an odd code distance >= 3");
+                }
+                "--p" => {
+                    let v = require_value(&mut args, "--p");
+                    opts.p = parse_or_die(&v, "--p", "a physical error rate in [0, 1)");
+                }
+                "--ghz" => {
+                    let v = require_value(&mut args, "--ghz");
+                    opts.ghz = parse_or_die(&v, "--ghz", "a clock frequency in GHz");
+                    if opts.ghz <= 0.0 {
+                        usage_error("--ghz must be positive");
+                    }
+                }
+                "--backend" => {
+                    let v = require_value(&mut args, "--backend");
+                    opts.backend = match v.as_str() {
+                        "qecool" => ServiceBackend::Qecool,
+                        "uf" | "union-find" => ServiceBackend::UnionFind,
+                        "mwpm" => ServiceBackend::Mwpm,
+                        other => {
+                            usage_error(&format!("--backend expects qecool|uf|mwpm, got '{other}'"))
+                        }
+                    };
+                }
+                "--seed" => {
+                    let v = require_value(&mut args, "--seed");
+                    opts.seed = parse_or_die(&v, "--seed", "a non-negative integer");
+                }
+                "--smoke" => {
+                    opts.sessions = 8;
+                    opts.rounds = 40;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--sessions N] [--rounds N] [--threads N] [--d D] [--p P] \
+                         [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke]"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage_error(&format!("unknown argument: {other}")),
+            }
+        }
+        opts
+    }
+}
+
+fn main() {
+    let opts = BenchOptions::parse();
+    let budget = CycleBudget::at_clock(opts.ghz * 1e9);
+    let config = ServiceConfig::new(opts.d, opts.backend, budget).with_threads(opts.threads);
+    let mut service = match DecodeService::new(config) {
+        Ok(s) => s,
+        Err(e) => usage_error(&format!("--d: {e}")),
+    };
+    let lattice = Lattice::new(opts.d).expect("distance validated above");
+    let noise = PhenomenologicalNoise::symmetric(opts.p);
+
+    eprintln!(
+        "serving {} sessions x {} rounds (d = {}, p = {}, {:?} @ {} GHz = {} cycles/round)...",
+        opts.sessions,
+        opts.rounds,
+        opts.d,
+        opts.p,
+        opts.backend,
+        opts.ghz,
+        service.budget_cycles()
+    );
+
+    let ids: Vec<SessionId> = (0..opts.sessions).map(|_| service.open_session()).collect();
+    let mut patches: Vec<CodePatch> = (0..opts.sessions)
+        .map(|_| CodePatch::new(lattice.clone()))
+        .collect();
+    let mut rngs: Vec<ChaCha8Rng> = (0..opts.sessions)
+        .map(|s| ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64)))
+        .collect();
+    let mut round = DetectionRound::zeros(lattice.num_ancillas());
+    let mut scratch: Vec<Edge> = Vec::new();
+
+    let start = Instant::now();
+    let mut overflowed = 0usize;
+    let mut total_corrections = 0u64;
+    for _ in 0..opts.rounds {
+        for s in 0..opts.sessions {
+            patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
+            // Overflowed sessions stay open but stop accepting rounds;
+            // real serving would close and re-initialize them.
+            let _ = service.push_round(ids[s], &round);
+        }
+        service.pump();
+        for s in 0..opts.sessions {
+            if let Ok(fresh) = service.poll_corrections(ids[s]) {
+                scratch.clear();
+                scratch.extend_from_slice(fresh);
+                total_corrections += scratch.len() as u64;
+                patches[s].apply_corrections(scratch.iter().copied());
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let mut worst_util = 0.0f64;
+    let mut mean_util_acc = 0.0f64;
+    let mut overruns = 0u64;
+    let mut max_cycles = 0u64;
+    for &id in &ids {
+        let lat = service.latency(id).expect("session open");
+        worst_util = worst_util.max(lat.max_cycles as f64 / lat.budget_cycles.max(1) as f64);
+        mean_util_acc += lat.mean_utilisation();
+        overruns += lat.overruns;
+        max_cycles = max_cycles.max(lat.max_cycles);
+        if service.is_overflowed(id).unwrap_or(false) {
+            overflowed += 1;
+        }
+    }
+
+    let served_rounds = (opts.sessions * opts.rounds) as f64;
+    let mut table = TextTable::new(["metric", "value"]);
+    table.row(["sessions", &opts.sessions.to_string()]);
+    table.row(["rounds/session", &opts.rounds.to_string()]);
+    table.row([
+        "budget (cycles/round)",
+        &service.budget_cycles().to_string(),
+    ]);
+    table.row(["wall time (s)", &format!("{:.3}", elapsed.as_secs_f64())]);
+    table.row([
+        "throughput (rounds/s)",
+        &format!("{:.0}", served_rounds / elapsed.as_secs_f64().max(1e-12)),
+    ]);
+    table.row(["corrections emitted", &total_corrections.to_string()]);
+    table.row(["max decode cycles", &max_cycles.to_string()]);
+    table.row(["worst budget utilisation", &format!("{worst_util:.3}")]);
+    table.row([
+        "mean budget utilisation",
+        &format!("{:.4}", mean_util_acc / opts.sessions as f64),
+    ]);
+    table.row(["budget overruns", &overruns.to_string()]);
+    table.row(["overflowed sessions", &overflowed.to_string()]);
+    println!("{}", table.render());
+
+    for id in ids {
+        let _ = service.close_session(id);
+    }
+}

@@ -10,7 +10,13 @@ use qecool_sfq::CellKind;
 
 fn main() {
     let opts = Options::parse(0);
-    let mut table = TextTable::new(["cell", "JJs", "Bias current (mA)", "Area (um^2)", "Latency (ps)"]);
+    let mut table = TextTable::new([
+        "cell",
+        "JJs",
+        "Bias current (mA)",
+        "Area (um^2)",
+        "Latency (ps)",
+    ]);
     for kind in CellKind::ALL {
         let p = kind.params();
         table.row([
@@ -22,6 +28,8 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("(reproduces Table I verbatim: the cell library is input data for the hardware model)");
+    println!(
+        "(reproduces Table I verbatim: the cell library is input data for the hardware model)"
+    );
     opts.write_csv(&table.to_csv());
 }

@@ -50,7 +50,11 @@ fn main() {
     let totals = unit.published_totals();
     table.row([
         "TOTAL".to_owned(),
-        unit.modules().iter().map(|m| m.num_cells()).sum::<u32>().to_string(),
+        unit.modules()
+            .iter()
+            .map(|m| m.num_cells())
+            .sum::<u32>()
+            .to_string(),
         unit.total_wires().to_string(),
         totals.jjs.to_string(),
         unit.cell_rollup().jjs.to_string(),
@@ -62,8 +66,15 @@ fn main() {
     println!("{}", table.render());
 
     let cp = unit_critical_path_ps();
-    println!("critical path     : {:.1} ps through {:?}", cp, unit_timing_graph().critical_path_nodes());
-    println!("max clock         : {:.2} GHz (paper: \"about 5 GHz\")", max_clock_ghz(cp));
+    println!(
+        "critical path     : {:.1} ps through {:?}",
+        cp,
+        unit_timing_graph().critical_path_nodes()
+    );
+    println!(
+        "max clock         : {:.2} GHz (paper: \"about 5 GHz\")",
+        max_clock_ghz(cp)
+    );
     println!(
         "RSFQ static power : {:.0} uW/Unit at 2.5 mV (paper: 840 uW)",
         rsfq_static_power_w(totals.bias_ma, 2.5) * 1e6

@@ -26,7 +26,13 @@ fn main() {
         for &p in &PS {
             // 2 GHz budget: fast enough that cycle statistics are not
             // truncated by overflow at these p (matches §V-A's setting).
-            let cfg = TrialConfig::standard(d, p, DecoderKind::OnlineQecool { budget_cycles: 2000 });
+            let cfg = TrialConfig::standard(
+                d,
+                p,
+                DecoderKind::OnlineQecool {
+                    budget_cycles: 2000,
+                },
+            );
             let mc = engine.run(&cfg, opts.shots, opts.seed);
             let agg = mc.layer_cycles;
             table.row([

@@ -62,14 +62,23 @@ fn main() {
     let pth_3d = measured_threshold(
         &engine,
         NoiseKind::Phenomenological,
-        DecoderKind::OnlineQecool { budget_cycles: 2000 },
+        DecoderKind::OnlineQecool {
+            budget_cycles: 2000,
+        },
         &log_grid(0.0015, 0.02, 8),
         opts.shots,
         opts.seed,
     );
 
-    let fmt_pth = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{:.1}%", x * 100.0));
-    let mut table = TextTable::new(["Decoder", "Pth (2-D)", "Pth (3-D)", "Latency", "Environment"]);
+    let fmt_pth =
+        |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{:.1}%", x * 100.0));
+    let mut table = TextTable::new([
+        "Decoder",
+        "Pth (2-D)",
+        "Pth (3-D)",
+        "Latency",
+        "Environment",
+    ]);
     for row in table4_literature_rows() {
         table.row([
             row.name.to_owned(),

@@ -20,7 +20,13 @@ fn main() {
     let engine = opts.engine();
 
     eprintln!("measuring QECOOL execution cycles at d = 9, p = 0.001 (2 GHz)...");
-    let cfg = TrialConfig::standard(9, 0.001, DecoderKind::OnlineQecool { budget_cycles: 2000 });
+    let cfg = TrialConfig::standard(
+        9,
+        0.001,
+        DecoderKind::OnlineQecool {
+            budget_cycles: 2000,
+        },
+    );
     let mc = engine.run(&cfg, opts.shots, opts.seed);
     let agg = mc.layer_cycles;
 
@@ -30,13 +36,9 @@ fn main() {
     let qecool = table5_qecool_column(Some(0.06), Some(0.01), agg.max, agg.mean(), 2.0e9);
     let aqec = table5_aqec_column();
 
-    let fmt_pth = |v: Option<f64>| v.map_or_else(|| "unknown".to_owned(), |x| format!("{:.1}%", x * 100.0));
-    let mut table = TextTable::new([
-        "quantity",
-        "AQEC",
-        "QECOOL (7-bit Reg)",
-        "paper QECOOL",
-    ]);
+    let fmt_pth =
+        |v: Option<f64>| v.map_or_else(|| "unknown".to_owned(), |x| format!("{:.1}%", x * 100.0));
+    let mut table = TextTable::new(["quantity", "AQEC", "QECOOL (7-bit Reg)", "paper QECOOL"]);
     let paper: Table5Column = table5_qecool_column(Some(0.06), Some(0.01), 800, 41.6, 2.0e9);
     table.row([
         "pth (2-D / 3-D)".to_owned(),
@@ -64,7 +66,12 @@ fn main() {
     ]);
     table.row([
         "directly applicable to 3-D".to_owned(),
-        if aqec.directly_3d { "Yes" } else { "No (x7 modules assumed)" }.to_owned(),
+        if aqec.directly_3d {
+            "Yes"
+        } else {
+            "No (x7 modules assumed)"
+        }
+        .to_owned(),
         if qecool.directly_3d { "Yes" } else { "No" }.to_owned(),
         "Yes".to_owned(),
     ]);

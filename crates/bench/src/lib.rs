@@ -7,7 +7,9 @@
 //! * `--shots N` — base Monte-Carlo shots per point (scaled internally);
 //! * `--seed S` — base RNG seed (default 2021, the paper's year);
 //! * `--fast` — divide shots by 10 for a quick smoke run;
-//! * `--threads N` — decode-engine worker threads (default: all cores);
+//! * `--smoke` — minimal shots for a CI liveness check (÷50, floor 10);
+//! * `--threads N` — decode-engine worker threads (must be ≥ 1; omit
+//!   the flag to use all cores);
 //! * `--out FILE` — additionally write machine-readable CSV.
 //!
 //! All binaries run their campaigns on one shared
@@ -36,9 +38,9 @@ pub struct Options {
 impl Options {
     /// Parses `std::env::args`, with `default_shots` as the baseline.
     ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on malformed arguments.
+    /// Exits the process (status 2) with a clear message on malformed
+    /// arguments — notably `--threads 0`, which is rejected rather than
+    /// silently handed to the engine.
     pub fn parse(default_shots: usize) -> Self {
         let mut opts = Self {
             shots: default_shots,
@@ -50,26 +52,27 @@ impl Options {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--shots" => {
-                    let v = args.next().expect("--shots needs a value");
-                    opts.shots = v.parse().expect("--shots must be an integer");
+                    let v = require_value(&mut args, "--shots");
+                    opts.shots = parse_or_die(&v, "--shots", "a non-negative integer");
                 }
                 "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    opts.seed = v.parse().expect("--seed must be an integer");
+                    let v = require_value(&mut args, "--seed");
+                    opts.seed = parse_or_die(&v, "--seed", "a non-negative integer");
                 }
                 "--fast" => opts.shots = (opts.shots / 10).max(20),
+                "--smoke" => opts.shots = (default_shots / 50).max(10),
                 "--threads" => {
-                    let v = args.next().expect("--threads needs a value");
-                    opts.threads = v.parse().expect("--threads must be an integer");
+                    let v = require_value(&mut args, "--threads");
+                    opts.threads = parse_threads(&v);
                 }
-                "--out" => opts.out = Some(args.next().expect("--out needs a path")),
+                "--out" => opts.out = Some(require_value(&mut args, "--out")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--shots N] [--seed S] [--fast] [--threads N] [--out FILE]"
+                        "usage: [--shots N] [--seed S] [--fast] [--smoke] [--threads N] [--out FILE]"
                     );
                     std::process::exit(0);
                 }
-                other => panic!("unknown argument: {other}"),
+                other => usage_error(&format!("unknown argument: {other}")),
             }
         }
         opts
@@ -83,12 +86,44 @@ impl Options {
     /// Writes CSV content to `--out` if given; reports the path on stderr.
     pub fn write_csv(&self, csv: &str) {
         if let Some(path) = &self.out {
-            let mut f = std::fs::File::create(path)
-                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            let mut f =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
             f.write_all(csv.as_bytes()).expect("write CSV");
             eprintln!("wrote {path}");
         }
     }
+}
+
+/// Prints a usage error and exits with status 2 (never returns).
+pub fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
+/// Pulls the value following a flag, or exits with a clear message.
+pub fn require_value<I: Iterator<Item = String>>(args: &mut I, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+}
+
+/// Parses a flag value, or exits explaining what was expected.
+pub fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str, expected: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} expects {expected}, got '{value}'")))
+}
+
+/// Parses and validates a `--threads` value: must be a positive
+/// integer. `0` is rejected explicitly — omit the flag to use all
+/// cores — instead of being passed through to whatever the engine
+/// would make of it.
+pub fn parse_threads(value: &str) -> usize {
+    let threads: usize = parse_or_die(value, "--threads", "a positive integer");
+    if threads == 0 {
+        usage_error("--threads must be >= 1 (omit the flag to use all cores)");
+    }
+    threads
 }
 
 /// A fixed-width text table mirroring the paper's table layout.
@@ -179,6 +214,12 @@ pub fn fmt_rate(est: qecool_sim::RateEstimate) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_counts() {
+        assert_eq!(parse_threads("1"), 1);
+        assert_eq!(parse_threads("32"), 32);
+    }
 
     #[test]
     fn table_render_aligns_columns() {

@@ -1,0 +1,189 @@
+//! The streaming decoder abstraction every backend plugs into.
+//!
+//! The paper's premise is *on-line* decoding: syndrome rounds keep
+//! arriving and corrections must come out under a per-round cycle
+//! budget. [`Decoder`] captures exactly that contract — ingest one
+//! detection round, spend a bounded number of decode cycles, emit
+//! whatever corrections resolved — so the decoding service and the
+//! Monte-Carlo harness can drive QECOOL, union-find and MWPM through one
+//! interface.
+//!
+//! Backends that genuinely decode incrementally (QECOOL) do real work in
+//! [`Decoder::decode_step`]; windowed baselines (union-find, MWPM — see
+//! the adapters in `qecool-sim`) buffer rounds and decode everything in
+//! [`Decoder::finish`], reporting zero cycles per step, which is honest:
+//! their hardware model has no published per-cycle schedule.
+
+use qecool_surface_code::{DetectionRound, Edge};
+
+use crate::decoder::QecoolDecoder;
+use crate::reg::RegOverflow;
+
+/// Output of one [`Decoder::decode_step`] / [`Decoder::finish`] call.
+///
+/// Owned by the caller and reused across rounds: [`Self::clear`] keeps
+/// the correction allocation, so a warmed session loop performs no
+/// per-round heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeOutput {
+    /// Data-qubit corrections issued by this step, in emission order.
+    pub corrections: Vec<Edge>,
+    /// Decode cycles consumed by this step.
+    pub cycles: u64,
+    /// `true` when the step stopped because no further work was possible
+    /// (as opposed to exhausting the cycle budget).
+    pub idle: bool,
+}
+
+impl DecodeOutput {
+    /// Empties the output for reuse, keeping the correction allocation.
+    pub fn clear(&mut self) {
+        self.corrections.clear();
+        self.cycles = 0;
+        self.idle = false;
+    }
+}
+
+/// A streaming surface-code decoder: one detection round in, bounded
+/// decode work out.
+///
+/// The contract mirrors the hardware loop of the paper:
+///
+/// 1. [`Self::ingest`] one measurement round (the `Push` broadcast);
+///    buffer overflow is the failure mode of a too-slow decoder (§V-B).
+/// 2. [`Self::decode_step`] with the per-round cycle budget; apply the
+///    emitted corrections before the next round arrives.
+/// 3. At end of stream, [`Self::finish`] decodes every pending layer
+///    (the perfect closing round of a memory experiment).
+///
+/// Implementations must be deterministic: the same round sequence and
+/// budgets must produce byte-identical corrections.
+pub trait Decoder {
+    /// Ingests one detection-event round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegOverflow`] when the decoder's round buffer is full —
+    /// the caller must count the stream as failed.
+    fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow>;
+
+    /// Decodes for at most `budget` cycles (`None` = until idle),
+    /// appending any corrections to `out.corrections` and recording the
+    /// cycles spent. `out` is cleared first.
+    fn decode_step(&mut self, budget: Option<u64>, out: &mut DecodeOutput);
+
+    /// Closes the stream: decodes every pending layer regardless of
+    /// lookahead thresholds, appending corrections to `out.corrections`.
+    /// `out` is cleared first.
+    fn finish(&mut self, out: &mut DecodeOutput);
+
+    /// Returns the decoder to its freshly-constructed state without
+    /// dropping allocations, so one instance serves many sessions.
+    fn reset(&mut self);
+}
+
+impl Decoder for QecoolDecoder {
+    fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow> {
+        self.push_round(round)
+    }
+
+    fn decode_step(&mut self, budget: Option<u64>, out: &mut DecodeOutput) {
+        out.clear();
+        let mut report = std::mem::take(&mut self.api_scratch);
+        self.run_into(budget, &mut report);
+        out.corrections.extend_from_slice(&report.corrections);
+        out.cycles = report.cycles;
+        out.idle = report.idle;
+        self.api_scratch = report;
+    }
+
+    fn finish(&mut self, out: &mut DecodeOutput) {
+        out.clear();
+        let mut report = std::mem::take(&mut self.api_scratch);
+        self.drain_into(&mut report);
+        out.corrections.extend_from_slice(&report.corrections);
+        out.cycles = report.cycles;
+        out.idle = report.idle;
+        self.api_scratch = report;
+    }
+
+    fn reset(&mut self) {
+        QecoolDecoder::reset(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QecoolConfig;
+    use qecool_surface_code::{CodePatch, Lattice};
+
+    #[test]
+    fn trait_drive_matches_inherent_api() {
+        let lattice = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        patch.inject_error(lattice.horizontal_edge(2, 2));
+        patch.inject_error(lattice.horizontal_edge(0, 1));
+        let round = patch.perfect_round();
+
+        let mut direct = QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(1));
+        direct.push_round(&round).unwrap();
+        let report = direct.drain();
+
+        let mut via_trait = QecoolDecoder::new(lattice, QecoolConfig::batch(1));
+        let dyn_decoder: &mut dyn Decoder = &mut via_trait;
+        dyn_decoder.ingest(&round).unwrap();
+        let mut out = DecodeOutput::default();
+        dyn_decoder.finish(&mut out);
+
+        assert_eq!(out.corrections, report.corrections);
+        assert_eq!(out.cycles, report.cycles);
+        assert!(out.idle);
+    }
+
+    #[test]
+    fn budgeted_steps_resume_until_idle() {
+        let lattice = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        patch.inject_error(lattice.horizontal_edge(1, 1));
+        patch.inject_error(lattice.horizontal_edge(3, 2));
+        let mut decoder =
+            QecoolDecoder::new(lattice.clone(), QecoolConfig::online().with_thv(None));
+        decoder.ingest(&patch.perfect_round()).unwrap();
+
+        let mut out = DecodeOutput::default();
+        let mut all = Vec::new();
+        let mut guard = 0;
+        loop {
+            decoder.decode_step(Some(4), &mut out);
+            all.extend_from_slice(&out.corrections);
+            if out.idle {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 10_000, "budgeted stepping never went idle");
+        }
+        patch.apply_corrections(all.iter().copied());
+        assert!(patch.syndrome_is_trivial());
+    }
+
+    #[test]
+    fn reset_through_the_trait_reuses_the_instance() {
+        let lattice = Lattice::new(3).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        patch.inject_error(lattice.horizontal_edge(1, 0));
+        let round = patch.perfect_round();
+        let mut decoder = QecoolDecoder::new(lattice, QecoolConfig::batch(2));
+        let mut out = DecodeOutput::default();
+
+        decoder.ingest(&round).unwrap();
+        decoder.finish(&mut out);
+        let first = out.corrections.clone();
+
+        Decoder::reset(&mut decoder);
+        assert!(decoder.is_drained());
+        decoder.ingest(&round).unwrap();
+        decoder.finish(&mut out);
+        assert_eq!(out.corrections, first);
+    }
+}

@@ -66,12 +66,33 @@ pub struct RunReport {
     pub idle: bool,
 }
 
+impl RunReport {
+    /// Empties the report for reuse, keeping the correction and match
+    /// allocations — what lets [`QecoolDecoder::run_into`] stay
+    /// allocation-free in steady state.
+    pub fn clear(&mut self) {
+        self.corrections.clear();
+        self.cycles = 0;
+        self.matches.clear();
+        self.idle = false;
+    }
+}
+
 /// How a sink's race was resolved.
 #[derive(Debug, Clone, Copy)]
 enum Winner {
-    Spatial { unit: usize, layer: usize, dist: usize },
-    VerticalSelf { layer: usize },
-    Boundary { side: Boundary, dist: usize },
+    Spatial {
+        unit: usize,
+        layer: usize,
+        dist: usize,
+    },
+    VerticalSelf {
+        layer: usize,
+    },
+    Boundary {
+        side: Boundary,
+        dist: usize,
+    },
 }
 
 /// Controller scan position (resumable across budgeted runs).
@@ -136,6 +157,9 @@ pub struct QecoolDecoder {
     layers_retired: usize,
     /// Cycles accumulated since the last shift (per-layer accounting).
     cycles_since_shift: u64,
+    /// Reused report buffer backing the [`Decoder`](crate::api::Decoder)
+    /// trait implementation.
+    pub(crate) api_scratch: RunReport,
 }
 
 impl QecoolDecoder {
@@ -153,6 +177,7 @@ impl QecoolDecoder {
             rounds_pushed: 0,
             layers_retired: 0,
             cycles_since_shift: 0,
+            api_scratch: RunReport::default(),
         }
     }
 
@@ -167,6 +192,7 @@ impl QecoolDecoder {
         self.rounds_pushed = 0;
         self.layers_retired = 0;
         self.cycles_since_shift = 0;
+        self.api_scratch.clear();
     }
 
     /// The lattice this decoder operates on.
@@ -216,10 +242,8 @@ impl QecoolDecoder {
             self.lattice.num_ancillas(),
             "round width does not match lattice"
         );
-        let events: Vec<bool> = (0..self.lattice.num_ancillas())
-            .map(|i| round.fired(i))
-            .collect();
-        self.regs.push_round(&events)?;
+        self.regs
+            .push_round_bits((0..self.lattice.num_ancillas()).map(|i| round.fired(i)))?;
         self.rounds_pushed += 1;
         // New data changes eligibility; the Controller restarts its sweep
         // from radius 1 so fresh events get the tight-radius pass first.
@@ -233,16 +257,33 @@ impl QecoolDecoder {
     /// Returns the corrections issued; apply them to the code patch before
     /// the next measurement round.
     pub fn run(&mut self, budget: Option<u64>) -> RunReport {
-        self.run_inner(budget, false)
+        let mut report = RunReport::default();
+        self.run_inner(budget, false, &mut report);
+        report
+    }
+
+    /// [`Self::run`] into a reused report: the report is cleared, then
+    /// filled exactly as `run` would — zero allocations once its buffers
+    /// are warm. This is the per-round hot path of the decoding service.
+    pub fn run_into(&mut self, budget: Option<u64>, report: &mut RunReport) {
+        report.clear();
+        self.run_inner(budget, false, report);
     }
 
     /// Runs ignoring the vertical threshold until every layer is retired —
     /// used to close out a trial after the final (perfect) measurement
     /// round.
     pub fn drain(&mut self) -> RunReport {
-        let report = self.run_inner(None, true);
-        debug_assert!(self.is_drained(), "drain left layers pending");
+        let mut report = RunReport::default();
+        self.drain_into(&mut report);
         report
+    }
+
+    /// [`Self::drain`] into a reused report (see [`Self::run_into`]).
+    pub fn drain_into(&mut self, report: &mut RunReport) {
+        report.clear();
+        self.run_inner(None, true, report);
+        debug_assert!(self.is_drained(), "drain left layers pending");
     }
 
     /// `true` when a call to [`Self::run`] can make progress.
@@ -264,8 +305,7 @@ impl QecoolDecoder {
         }
     }
 
-    fn run_inner(&mut self, budget: Option<u64>, ignore_thv: bool) -> RunReport {
-        let mut report = RunReport::default();
+    fn run_inner(&mut self, budget: Option<u64>, ignore_thv: bool, report: &mut RunReport) {
         loop {
             if !self.work_available_inner(ignore_thv) {
                 report.idle = true;
@@ -276,10 +316,9 @@ impl QecoolDecoder {
                     break;
                 }
             }
-            self.step(ignore_thv, &mut report);
+            self.step(ignore_thv, report);
         }
         self.stats.add_cycles(report.cycles);
-        report
     }
 
     /// Executes one Controller action: a row scan or a sweep-end decision.
@@ -422,7 +461,11 @@ impl QecoolDecoder {
                 Boundary::East => 1,
                 Boundary::West => 3,
             };
-            consider((arrival, 2, dir, usize::MAX), Winner::Boundary { side, dist }, &mut best);
+            consider(
+                (arrival, 2, dir, usize::MAX),
+                Winner::Boundary { side, dist },
+                &mut best,
+            );
         }
 
         let Some(((arrival, ..), winner)) = best else {
@@ -436,9 +479,7 @@ impl QecoolDecoder {
         let kind = match winner {
             Winner::Spatial { unit, layer, dist } => {
                 let from = self.lattice.ancilla_from_index(unit);
-                report
-                    .corrections
-                    .extend(self.lattice.route(from, sink_a));
+                report.corrections.extend(self.lattice.route(from, sink_a));
                 self.regs.clear(sink, b);
                 self.regs.clear(unit, layer);
                 MatchKind::Spatial {
@@ -456,7 +497,10 @@ impl QecoolDecoder {
                     .corrections
                     .extend(self.lattice.route_to_boundary(sink_a, side));
                 self.regs.clear(sink, b);
-                MatchKind::Boundary { side, distance: dist }
+                MatchKind::Boundary {
+                    side,
+                    distance: dist,
+                }
             }
         };
         let record = MatchRecord {
@@ -625,10 +669,11 @@ mod tests {
         for seed in 0..30u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut patch = CodePatch::new(lattice.clone());
-            let mut decoder =
-                QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(8));
+            let mut decoder = QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(8));
             for _ in 0..7 {
-                decoder.push_round(&patch.noisy_round(&noise, &mut rng)).unwrap();
+                decoder
+                    .push_round(&patch.noisy_round(&noise, &mut rng))
+                    .unwrap();
             }
             decoder.push_round(&patch.perfect_round()).unwrap();
             let report = decoder.drain();
@@ -648,10 +693,8 @@ mod tests {
         // A healthy spread of errors.
         patch.inject_error(lattice.horizontal_edge(1, 1));
         patch.inject_error(lattice.horizontal_edge(3, 2));
-        let mut decoder = QecoolDecoder::new(
-            lattice.clone(),
-            QecoolConfig::online().with_thv(None),
-        );
+        let mut decoder =
+            QecoolDecoder::new(lattice.clone(), QecoolConfig::online().with_thv(None));
         decoder.push_round(&patch.perfect_round()).unwrap();
 
         // Tiny budget: should pause without finishing.
@@ -711,7 +754,9 @@ mod tests {
         patch.inject_error(lattice.horizontal_edge(2, 1));
         let mut decoder = QecoolDecoder::new(
             lattice,
-            QecoolConfig::online().with_reg_capacity(2).with_thv(Some(3)),
+            QecoolConfig::online()
+                .with_reg_capacity(2)
+                .with_thv(Some(3)),
         );
         // Layer 0 has an event; th_v = 3 can never be satisfied with
         // capacity 2, so the third push overflows.
@@ -914,7 +959,7 @@ mod tests {
         assert_eq!(direction_rank(sink, Ancilla::new(2, 4)), 1); // E
         assert_eq!(direction_rank(sink, Ancilla::new(4, 2)), 2); // S
         assert_eq!(direction_rank(sink, Ancilla::new(2, 0)), 3); // W
-        // Off-axis initiators arrive horizontally.
+                                                                 // Off-axis initiators arrive horizontally.
         assert_eq!(direction_rank(sink, Ancilla::new(0, 3)), 1);
         assert_eq!(direction_rank(sink, Ancilla::new(4, 1)), 3);
     }

@@ -12,6 +12,9 @@
 //!
 //! * [`QecoolDecoder`] — the decoder itself ([`decoder`] module docs
 //!   describe the hardware mapping).
+//! * [`api::Decoder`] — the streaming ingest/step/finish trait the
+//!   decoding service drives; implemented here for [`QecoolDecoder`] and
+//!   by the windowed baseline adapters in `qecool-sim`.
 //! * [`QecoolConfig`] — operating-mode presets (batch / on-line with the
 //!   paper's 7-bit `Reg` and `th_v = 3`).
 //! * [`reg`] — the per-Unit measurement register bank.
@@ -41,11 +44,13 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod api;
 pub mod config;
 pub mod decoder;
 pub mod reg;
 pub mod stats;
 
+pub use api::{DecodeOutput, Decoder};
 pub use config::{QecoolConfig, DEFAULT_BOUNDARY_PENALTY, PAPER_REG_CAPACITY, PAPER_THV};
 pub use decoder::{QecoolDecoder, RunReport};
 pub use reg::{RegFile, RegOverflow};

@@ -118,6 +118,25 @@ impl RegFile {
     ///
     /// Panics if `events.len() != self.num_units()`.
     pub fn push_round(&mut self, events: &[bool]) -> Result<(), RegOverflow> {
+        self.push_round_bits(events.iter().copied())
+    }
+
+    /// [`Self::push_round`] from a bit iterator, so callers holding a
+    /// packed event vector (e.g. a
+    /// [`DetectionRound`](qecool_surface_code::DetectionRound)) can push
+    /// without materialising a `&[bool]` — the allocation-free hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegOverflow`] when the registers are already full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator does not yield exactly one bit per Unit.
+    pub fn push_round_bits<I>(&mut self, events: I) -> Result<(), RegOverflow>
+    where
+        I: ExactSizeIterator<Item = bool>,
+    {
         assert_eq!(events.len(), self.num_units(), "round width mismatch");
         if self.occupancy == self.capacity {
             return Err(RegOverflow {
@@ -125,7 +144,7 @@ impl RegFile {
             });
         }
         let bit = 1u64 << self.occupancy;
-        for (word, &fired) in self.words.iter_mut().zip(events) {
+        for (word, fired) in self.words.iter_mut().zip(events) {
             if fired {
                 *word |= bit;
             }
@@ -159,7 +178,11 @@ impl RegFile {
     /// Panics if `t >= occupancy` or `u` is out of range.
     #[inline]
     pub fn get(&self, u: usize, t: usize) -> bool {
-        assert!(t < self.occupancy, "layer {t} >= occupancy {}", self.occupancy);
+        assert!(
+            t < self.occupancy,
+            "layer {t} >= occupancy {}",
+            self.occupancy
+        );
         (self.words[u] >> t) & 1 == 1
     }
 
@@ -170,7 +193,11 @@ impl RegFile {
     /// Panics if `t >= occupancy` or `u` is out of range.
     #[inline]
     pub fn clear(&mut self, u: usize, t: usize) {
-        assert!(t < self.occupancy, "layer {t} >= occupancy {}", self.occupancy);
+        assert!(
+            t < self.occupancy,
+            "layer {t} >= occupancy {}",
+            self.occupancy
+        );
         self.words[u] &= !(1u64 << t);
     }
 
@@ -346,7 +373,10 @@ mod tests {
         regs.shift();
         assert_eq!(regs.occupancy(), 6);
         regs.push_round(&[true]).unwrap();
-        assert!(regs.push_round(&[false]).is_err(), "full again after refill");
+        assert!(
+            regs.push_round(&[false]).is_err(),
+            "full again after refill"
+        );
         assert!(regs.get(0, 6), "refilled layer landed on top");
     }
 

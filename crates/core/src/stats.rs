@@ -258,7 +258,10 @@ mod tests {
 
     #[test]
     fn match_kind_extent() {
-        assert_eq!(MatchKind::Spatial { distance: 5, dt: 2 }.vertical_extent(), 2);
+        assert_eq!(
+            MatchKind::Spatial { distance: 5, dt: 2 }.vertical_extent(),
+            2
+        );
         assert_eq!(MatchKind::VerticalSelf { dt: 4 }.vertical_extent(), 4);
         assert_eq!(
             MatchKind::Boundary {

@@ -119,7 +119,13 @@ impl<'a> Matcher<'a> {
         let nedge = edges.len();
         let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
         let endpoint: Vec<usize> = (0..2 * nedge)
-            .map(|p| if p % 2 == 0 { edges[p / 2].0 } else { edges[p / 2].1 })
+            .map(|p| {
+                if p % 2 == 0 {
+                    edges[p / 2].0
+                } else {
+                    edges[p / 2].1
+                }
+            })
             .collect();
         let mut neighbend: Vec<Vec<usize>> = vec![Vec::new(); nvertex];
         for (k, &(i, j, _)) in edges.iter().enumerate() {
@@ -383,8 +389,7 @@ impl<'a> Matcher<'a> {
             // obtained its label, and relabel sub-blossoms until we reach
             // the base.
             debug_assert!(self.labelend[b] >= 0);
-            let entrychild =
-                self.inblossom[self.endpoint[(self.labelend[b] as usize) ^ 1]];
+            let entrychild = self.inblossom[self.endpoint[(self.labelend[b] as usize) ^ 1]];
             let len = childs.len() as i64;
             let at = |j: i64| -> usize { childs[(((j % len) + len) % len) as usize] };
             let endps = self.blossomendps[b].clone().expect("endps");
@@ -453,8 +458,8 @@ impl<'a> Matcher<'a> {
                     debug_assert_eq!(self.label[v], 2);
                     debug_assert_eq!(self.inblossom[v], bv);
                     self.label[v] = 0;
-                    self.label
-                        [self.endpoint[self.mate[self.blossombase[bv] as usize] as usize]] = 0;
+                    self.label[self.endpoint[self.mate[self.blossombase[bv] as usize] as usize]] =
+                        0;
                     let le = self.labelend[v];
                     self.assign_label(v, 2, le);
                 }
@@ -853,7 +858,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        assert_eq!(max_weight_matching(0, &[], false), Vec::<Option<usize>>::new());
+        assert_eq!(
+            max_weight_matching(0, &[], false),
+            Vec::<Option<usize>>::new()
+        );
         assert_eq!(max_weight_matching(3, &[], false), vec![None, None, None]);
     }
 
@@ -909,7 +917,14 @@ mod tests {
 
     #[test]
     fn s_blossom_and_use_for_augmentation_b() {
-        let edges = [(0, 1, 8), (0, 2, 9), (1, 2, 10), (2, 3, 7), (0, 5, 5), (3, 4, 6)];
+        let edges = [
+            (0, 1, 8),
+            (0, 2, 9),
+            (1, 2, 10),
+            (2, 3, 7),
+            (0, 5, 5),
+            (3, 4, 6),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(
             mate,
@@ -919,7 +934,14 @@ mod tests {
 
     #[test]
     fn create_s_blossom_relabel_as_t_and_use_for_augmentation_a() {
-        let edges = [(0, 1, 9), (0, 2, 8), (1, 2, 10), (0, 3, 5), (3, 4, 4), (0, 5, 3)];
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 8),
+            (1, 2, 10),
+            (0, 3, 5),
+            (3, 4, 4),
+            (0, 5, 3),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(
             mate,
@@ -929,7 +951,14 @@ mod tests {
 
     #[test]
     fn create_s_blossom_relabel_as_t_and_use_for_augmentation_b() {
-        let edges = [(0, 1, 9), (0, 2, 8), (1, 2, 10), (0, 3, 5), (3, 4, 3), (0, 5, 4)];
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 8),
+            (1, 2, 10),
+            (0, 3, 5),
+            (3, 4, 3),
+            (0, 5, 4),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(
             mate,

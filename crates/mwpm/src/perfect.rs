@@ -155,7 +155,10 @@ mod tests {
 
     #[test]
     fn empty_is_trivially_perfect() {
-        assert_eq!(min_weight_perfect_matching(0, &[]).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            min_weight_perfect_matching(0, &[]).unwrap(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -167,7 +170,14 @@ mod tests {
 
     #[test]
     fn picks_cheap_pairing() {
-        let edges = [(0, 1, 5), (2, 3, 5), (0, 2, 1), (1, 3, 1), (0, 3, 9), (1, 2, 9)];
+        let edges = [
+            (0, 1, 5),
+            (2, 3, 5),
+            (0, 2, 1),
+            (1, 3, 1),
+            (0, 3, 9),
+            (1, 2, 9),
+        ];
         let mate = min_weight_perfect_matching(4, &edges).unwrap();
         assert_eq!(mate[0], 2);
         assert_eq!(mate[1], 3);

@@ -6,11 +6,76 @@
 //! budget. This module holds the budget arithmetic and the analytic model
 //! of the AQEC (NISQ+) comparator \[11\] used in Table V.
 
-use crate::power::ersfq_power_w;
+use crate::power::{cycles_per_measurement, ersfq_power_w, MEASUREMENT_INTERVAL_S};
 use serde::{Deserialize, Serialize};
 
 /// Power budget of the 4-K stage, in watts (paper §V-D, \[12\]).
 pub const POWER_BUDGET_4K_W: f64 = 1.0;
+
+/// The decode-cycle budget of one measurement round: how many decoder
+/// clock cycles fit between two ancilla readouts.
+///
+/// This is the quantity the whole on-line argument of the paper turns
+/// on (Fig. 7): at clock `f` and measurement interval `T` the decoder
+/// gets `f · T` cycles per round; spend more and the 7-bit registers
+/// back up until they overflow. The decoding service accounts every
+/// session round against this budget.
+///
+/// # Example
+///
+/// ```
+/// use qecool_sfq::budget::CycleBudget;
+///
+/// // The paper's headline point: 2 GHz against the 1 µs interval.
+/// let budget = CycleBudget::at_clock(2.0e9);
+/// assert_eq!(budget.cycles_per_round(), 2000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleBudget {
+    /// Decoder clock frequency, in hertz.
+    pub frequency_hz: f64,
+    /// Ancilla measurement interval, in seconds.
+    pub measurement_interval_s: f64,
+}
+
+impl CycleBudget {
+    /// A budget at the given clock against the paper's 1 µs measurement
+    /// interval \[10\].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frequency is not positive.
+    pub fn at_clock(frequency_hz: f64) -> Self {
+        Self::new(frequency_hz, MEASUREMENT_INTERVAL_S)
+    }
+
+    /// A budget with an explicit clock and measurement interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either quantity is not positive.
+    pub fn new(frequency_hz: f64, measurement_interval_s: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        assert!(
+            measurement_interval_s > 0.0,
+            "measurement interval must be positive"
+        );
+        Self {
+            frequency_hz,
+            measurement_interval_s,
+        }
+    }
+
+    /// Decode cycles available per measurement round.
+    pub fn cycles_per_round(&self) -> u64 {
+        cycles_per_measurement(self.frequency_hz, self.measurement_interval_s)
+    }
+
+    /// Wall-clock duration of `cycles` decode cycles, in seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+}
 
 /// Number of QECOOL hardware Units per logical qubit: `2 d (d − 1)`
 /// (both error sectors of a distance-`d` code, §IV-A).
@@ -73,7 +138,11 @@ impl DecoderBudget {
     /// AQEC (NISQ+) at distance `d`; `extend_to_3d` applies the paper's 7×
     /// module assumption.
     pub fn aqec(d: usize, extend_to_3d: bool) -> Self {
-        let factor = if extend_to_3d { AQEC_3D_MODULE_FACTOR } else { 1.0 };
+        let factor = if extend_to_3d {
+            AQEC_3D_MODULE_FACTOR
+        } else {
+            1.0
+        };
         Self {
             name: "AQEC".to_owned(),
             unit_power_w: AQEC_UNIT_POWER_W,
@@ -96,6 +165,27 @@ impl DecoderBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cycle_budget_matches_fig7_points() {
+        // The three Fig. 7 clocks against the 1 µs interval.
+        assert_eq!(CycleBudget::at_clock(500e6).cycles_per_round(), 500);
+        assert_eq!(CycleBudget::at_clock(1.0e9).cycles_per_round(), 1000);
+        assert_eq!(CycleBudget::at_clock(2.0e9).cycles_per_round(), 2000);
+    }
+
+    #[test]
+    fn cycle_budget_converts_back_to_wall_clock() {
+        let b = CycleBudget::at_clock(2.0e9);
+        let t = b.cycles_to_seconds(b.cycles_per_round());
+        assert!((t - 1.0e-6).abs() < 1e-12, "one round should span 1 µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cycle_budget_rejects_zero_interval() {
+        CycleBudget::new(1.0e9, 0.0);
+    }
 
     #[test]
     fn qecool_unit_count_matches_paper() {

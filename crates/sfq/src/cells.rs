@@ -112,19 +112,40 @@ mod tests {
     fn table1_rows_match_paper() {
         // Spot-check every published value of Table I.
         let s = CellKind::Splitter.params();
-        assert_eq!((s.jjs, s.bias_ma, s.area_um2, s.latency_ps), (3, 0.300, 900.0, 4.3));
+        assert_eq!(
+            (s.jjs, s.bias_ma, s.area_um2, s.latency_ps),
+            (3, 0.300, 900.0, 4.3)
+        );
         let m = CellKind::Merger.params();
-        assert_eq!((m.jjs, m.bias_ma, m.area_um2, m.latency_ps), (7, 0.880, 900.0, 8.2));
+        assert_eq!(
+            (m.jjs, m.bias_ma, m.area_um2, m.latency_ps),
+            (7, 0.880, 900.0, 8.2)
+        );
         let sw = CellKind::Switch12.params();
-        assert_eq!((sw.jjs, sw.bias_ma, sw.area_um2, sw.latency_ps), (33, 3.464, 8100.0, 10.5));
+        assert_eq!(
+            (sw.jjs, sw.bias_ma, sw.area_um2, sw.latency_ps),
+            (33, 3.464, 8100.0, 10.5)
+        );
         let d = CellKind::Dro.params();
-        assert_eq!((d.jjs, d.bias_ma, d.area_um2, d.latency_ps), (6, 0.720, 900.0, 5.1));
+        assert_eq!(
+            (d.jjs, d.bias_ma, d.area_um2, d.latency_ps),
+            (6, 0.720, 900.0, 5.1)
+        );
         let n = CellKind::Ndro.params();
-        assert_eq!((n.jjs, n.bias_ma, n.area_um2, n.latency_ps), (11, 1.112, 1800.0, 6.4));
+        assert_eq!(
+            (n.jjs, n.bias_ma, n.area_um2, n.latency_ps),
+            (11, 1.112, 1800.0, 6.4)
+        );
         let r = CellKind::ResettableDro.params();
-        assert_eq!((r.jjs, r.bias_ma, r.area_um2, r.latency_ps), (11, 0.900, 1800.0, 6.0));
+        assert_eq!(
+            (r.jjs, r.bias_ma, r.area_um2, r.latency_ps),
+            (11, 0.900, 1800.0, 6.0)
+        );
         let d2 = CellKind::DualOutputDro.params();
-        assert_eq!((d2.jjs, d2.bias_ma, d2.area_um2, d2.latency_ps), (12, 0.944, 1800.0, 6.8));
+        assert_eq!(
+            (d2.jjs, d2.bias_ma, d2.area_um2, d2.latency_ps),
+            (12, 0.944, 1800.0, 6.8)
+        );
     }
 
     #[test]

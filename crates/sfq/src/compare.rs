@@ -183,7 +183,11 @@ mod tests {
         let c = table5_aqec_column();
         assert_eq!(c.units_per_lq, 289);
         assert_eq!(c.exec_max_ns, 19.8);
-        assert!((35..=38).contains(&c.protectable_lq), "{}", c.protectable_lq);
+        assert!(
+            (35..=38).contains(&c.protectable_lq),
+            "{}",
+            c.protectable_lq
+        );
         assert!(!c.directly_3d);
     }
 

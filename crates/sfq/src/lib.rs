@@ -42,7 +42,7 @@ pub mod pulse;
 pub mod timing;
 pub mod unit_netlist;
 
-pub use budget::DecoderBudget;
+pub use budget::{CycleBudget, DecoderBudget};
 pub use cells::{CellKind, CellParams};
 pub use power::{ersfq_power_w, rsfq_static_power_w, FLUX_QUANTUM_WB};
 pub use timing::{max_clock_ghz, unit_critical_path_ps, TimingGraph};

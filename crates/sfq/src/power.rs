@@ -29,7 +29,10 @@ pub const FLUX_QUANTUM_WB: f64 = 2.068e-15;
 /// assert!((p - 840e-6).abs() < 1e-12);
 /// ```
 pub fn rsfq_static_power_w(bias_ma: f64, supply_mv: f64) -> f64 {
-    assert!(bias_ma >= 0.0 && supply_mv >= 0.0, "negative electrical value");
+    assert!(
+        bias_ma >= 0.0 && supply_mv >= 0.0,
+        "negative electrical value"
+    );
     (bias_ma * 1e-3) * (supply_mv * 1e-3)
 }
 
@@ -57,7 +60,10 @@ pub fn rsfq_static_power_at_design_supply_w(bias_ma: f64) -> f64 {
 /// assert!((p * 1e6 - 2.78).abs() < 0.01, "{} µW", p * 1e6);
 /// ```
 pub fn ersfq_power_w(bias_ma: f64, frequency_hz: f64) -> f64 {
-    assert!(bias_ma >= 0.0 && frequency_hz >= 0.0, "negative electrical value");
+    assert!(
+        bias_ma >= 0.0 && frequency_hz >= 0.0,
+        "negative electrical value"
+    );
     (bias_ma * 1e-3) * frequency_hz * FLUX_QUANTUM_WB * 2.0
 }
 

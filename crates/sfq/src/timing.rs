@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn critical_path_runs_through_base_pointer_and_spike_out() {
         let nodes = unit_timing_graph().critical_path_nodes();
-        assert!(nodes.iter().any(|n| n.contains("base pointer")), "{nodes:?}");
+        assert!(
+            nodes.iter().any(|n| n.contains("base pointer")),
+            "{nodes:?}"
+        );
         assert!(nodes.iter().any(|n| n.contains("spike out")), "{nodes:?}");
     }
 

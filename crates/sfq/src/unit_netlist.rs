@@ -250,8 +250,15 @@ mod tests {
         let unit = UnitDesign::paper_unit();
         let t = unit.published_totals();
         assert_eq!(t.jjs, 3177, "paper: a Unit consists of 3177 JJs");
-        assert!((t.area_um2 - 1_274_400.0).abs() < 1e-6, "1.274 mm^2 footprint");
-        assert!((t.bias_ma - 336.1).abs() < 0.2, "336 mA total bias, got {}", t.bias_ma);
+        assert!(
+            (t.area_um2 - 1_274_400.0).abs() < 1e-6,
+            "1.274 mm^2 footprint"
+        );
+        assert!(
+            (t.bias_ma - 336.1).abs() < 0.2,
+            "336 mA total bias, got {}",
+            t.bias_ma
+        );
     }
 
     #[test]

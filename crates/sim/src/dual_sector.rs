@@ -69,7 +69,11 @@ pub fn run_dual_sector_trial(cfg: &TrialConfig, seed: u64) -> DualSectorOutcome 
 }
 
 /// Both-sector logical error rate over `shots` trials.
-pub fn dual_sector_error_rate(cfg: &TrialConfig, shots: usize, base_seed: u64) -> crate::stats::RateEstimate {
+pub fn dual_sector_error_rate(
+    cfg: &TrialConfig,
+    shots: usize,
+    base_seed: u64,
+) -> crate::stats::RateEstimate {
     let failures = (0..shots)
         .filter(|&i| run_dual_sector_trial(cfg, base_seed + i as u64).logical_error())
         .count();

@@ -14,7 +14,7 @@
 //!   cursor over the precomputed shard list) feeds N worker threads;
 //! * each worker owns a reusable [`TrialScratch`] (decoder, patch,
 //!   syndrome buffers) and one recycled
-//!   [`TrialOutcome`](crate::trials::TrialOutcome), so the hot loop does
+//!   [`TrialOutcome`], so the hot loop does
 //!   no per-shot construction;
 //! * scalar counters stream into the engine's [`EngineTally`] of atomic
 //!   counters the moment a shard retires — live observability with no
@@ -111,7 +111,8 @@ impl EngineTally {
     }
 
     fn absorb(&self, partial: &McResult) {
-        self.shots.fetch_add(partial.shots as u64, Ordering::Relaxed);
+        self.shots
+            .fetch_add(partial.shots as u64, Ordering::Relaxed);
         self.failures
             .fetch_add(partial.failures as u64, Ordering::Relaxed);
         self.overflows
@@ -232,8 +233,7 @@ impl DecodeEngine {
                             let job = &jobs[shard.job];
                             let mut partial = McResult::default();
                             for k in 0..shard.len {
-                                let seed =
-                                    job.base_seed.wrapping_add((shard.start + k) as u64);
+                                let seed = job.base_seed.wrapping_add((shard.start + k) as u64);
                                 run_trial_into(&job.trial, seed, &mut scratch, &mut outcome);
                                 partial.absorb(&outcome);
                             }
@@ -350,10 +350,7 @@ mod tests {
         let a = engine.run(&cfg, 50, 0);
         let b = engine.run(&cfg, 30, 50);
         assert_eq!(engine.tally().shots(), 80);
-        assert_eq!(
-            engine.tally().failures(),
-            (a.failures + b.failures) as u64
-        );
+        assert_eq!(engine.tally().failures(), (a.failures + b.failures) as u64);
         assert_eq!(engine.tally().matches(), a.matches + b.matches);
     }
 

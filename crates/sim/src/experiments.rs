@@ -64,7 +64,15 @@ pub fn sweep<F>(
 where
     F: FnMut(usize, f64) -> usize,
 {
-    sweep_on(&DecodeEngine::new(), decoder, noise, ds, ps, base_seed, shots_for)
+    sweep_on(
+        &DecodeEngine::new(),
+        decoder,
+        noise,
+        ds,
+        ps,
+        base_seed,
+        shots_for,
+    )
 }
 
 /// Runs a full `(d × p)` logical-error-rate sweep on the given engine.
@@ -92,7 +100,11 @@ where
             let trial = TrialConfig {
                 d,
                 p,
-                rounds: if noise == NoiseKind::CodeCapacity { 1 } else { d },
+                rounds: if noise == NoiseKind::CodeCapacity {
+                    1
+                } else {
+                    d
+                },
                 decoder,
                 noise,
                 boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,

@@ -11,6 +11,9 @@
 //! * [`engine`] — the parallel streaming decode engine: a lock-free
 //!   shard queue feeding zero-per-shot-allocation workers, with
 //!   thread-count-independent aggregation;
+//! * [`service`] — the long-lived decoding service: per-logical-qubit
+//!   syndrome-stream sessions decoded under the SFQ cycle budget, with
+//!   all three backends behind the [`qecool::api::Decoder`] trait;
 //! * [`montecarlo`] — the [`McResult`] aggregate and the classic
 //!   single-campaign wrapper over the engine;
 //! * [`stats`] — binomial rate estimates (Wilson intervals) and streaming
@@ -41,6 +44,7 @@ pub mod dual_sector;
 pub mod engine;
 pub mod experiments;
 pub mod montecarlo;
+pub mod service;
 pub mod stats;
 pub mod threshold;
 pub mod trials;
@@ -49,6 +53,10 @@ pub use dual_sector::{dual_sector_error_rate, run_dual_sector_trial, DualSectorO
 pub use engine::{DecodeEngine, EngineConfig, EngineTally, McJob};
 pub use experiments::{log_grid, sweep, sweep_on, Sweep, SweepPoint};
 pub use montecarlo::{run_monte_carlo, McResult};
+pub use service::{
+    DecodeService, LatencyStats, ServiceBackend, ServiceConfig, ServiceError, SessionId,
+    SessionReport,
+};
 pub use stats::{CycleAggregate, RateEstimate};
 pub use threshold::{estimate_threshold, Curve, ThresholdEstimate};
 pub use trials::{run_trial, DecoderKind, NoiseKind, TrialConfig, TrialOutcome};

@@ -41,11 +41,7 @@ impl McResult {
         if self.matches == 0 {
             return 0.0;
         }
-        let hits: u64 = self
-            .vertical_hist
-            .iter()
-            .skip(min_dt)
-            .sum();
+        let hits: u64 = self.vertical_hist.iter().skip(min_dt).sum();
         hits as f64 / self.matches as f64
     }
 

@@ -1,0 +1,956 @@
+//! The long-lived decoding service: syndrome-stream sessions under a
+//! cycle budget.
+//!
+//! Monte-Carlo campaigns run trial-at-a-time; real control hardware does
+//! not. A [`DecodeService`] owns a pool of independent **sessions**, one
+//! per logical qubit under protection. Each session ingests detection
+//! rounds as they arrive ([`DecodeService::push_round`] /
+//! [`DecodeService::feed`]), decodes them under the per-round SFQ cycle
+//! budget ([`CycleBudget`]), and hands corrections back through
+//! [`DecodeService::poll_corrections`]. All three decoder backends —
+//! QECOOL, union-find, MWPM — serve behind the [`Decoder`] trait.
+//!
+//! # Determinism
+//!
+//! Sessions are fully independent: each owns its decoder state and its
+//! rounds are decoded in arrival order. [`DecodeService::pump`] fans the
+//! pending sessions out across the worker pool, but a session is only
+//! ever advanced by one worker at a time, so every session's corrections
+//! are byte-identical whatever the thread count — the same guarantee the
+//! Monte-Carlo engine makes for aggregates.
+//!
+//! # Steady-state allocation
+//!
+//! The per-round path is allocation-free once a session is warm: pushed
+//! rounds land in recycled [`DetectionRound`] buffers
+//! ([`DetectionRound::copy_from`]), the QECOOL backend decodes through
+//! [`QecoolDecoder::run_into`](qecool::QecoolDecoder::run_into) into a
+//! reused report, and emitted corrections append to a session-owned
+//! vector whose already-polled prefix is reclaimed on the next drain —
+//! a session's memory stays bounded by one poll interval's worth of
+//! corrections however long it lives.
+//!
+//! # Example
+//!
+//! ```
+//! use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig};
+//! use qecool_sfq::budget::CycleBudget;
+//! use qecool_surface_code::{CodePatch, Lattice, PhenomenologicalNoise};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9));
+//! let mut service = DecodeService::new(config)?;
+//! let session = service.open_session();
+//!
+//! let mut patch = CodePatch::new(Lattice::new(5)?);
+//! let noise = PhenomenologicalNoise::symmetric(0.01);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! for _ in 0..5 {
+//!     let round = patch.noisy_round(&noise, &mut rng);
+//!     service.push_round(session, &round)?;
+//!     let corrections: Vec<_> = service.poll_corrections(session)?.to_vec();
+//!     patch.apply_corrections(corrections);
+//! }
+//! let closing = patch.perfect_round();
+//! service.push_round(session, &closing)?;
+//! let report = service.close_session(session)?;
+//! patch.apply_corrections(report.corrections.iter().copied());
+//! assert!(patch.syndrome_is_trivial());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use qecool::api::{DecodeOutput, Decoder};
+use qecool::{QecoolConfig, QecoolDecoder, RegOverflow, DEFAULT_BOUNDARY_PENALTY};
+use qecool_mwpm::MwpmDecoder;
+use qecool_sfq::budget::CycleBudget;
+use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError, SyndromeHistory};
+use qecool_uf::UnionFindDecoder;
+
+/// Which decoder implementation a service's sessions run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceBackend {
+    /// On-line QECOOL (the paper's machine): real per-round decode work
+    /// under the cycle budget, 7-bit registers, `th_v = 3` lookahead.
+    Qecool,
+    /// Union-find baseline: rounds buffer into a window that decodes at
+    /// session close (its published form is a batch algorithm).
+    UnionFind,
+    /// Exact-MWPM baseline: windowed like union-find.
+    Mwpm,
+}
+
+/// Configuration of a [`DecodeService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Code distance of every session's patch.
+    pub d: usize,
+    /// Decoder backend.
+    pub backend: ServiceBackend,
+    /// Per-round decode-cycle budget (clock × measurement interval).
+    pub budget: CycleBudget,
+    /// Worker threads for [`DecodeService::pump`]; `0` uses all cores.
+    pub threads: usize,
+    /// Extra hops charged to Boundary-Unit spikes (QECOOL only).
+    pub boundary_penalty: u64,
+}
+
+impl ServiceConfig {
+    /// A service configuration with default threading (all cores) and
+    /// the paper's boundary penalty.
+    pub fn new(d: usize, backend: ServiceBackend, budget: CycleBudget) -> Self {
+        Self {
+            d,
+            backend,
+            budget,
+            threads: 0,
+            boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+        }
+    }
+
+    /// Pins the pump worker pool to `threads` workers (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Handle to one open session. Ids are generation-tagged: a handle goes
+/// stale the moment its session closes, and stale handles are rejected
+/// rather than silently hitting a recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    index: u32,
+    generation: u32,
+}
+
+/// Errors surfaced by the session API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The session id was never opened, or its session already closed.
+    UnknownSession,
+    /// The session's decoder buffer overflowed: the decoder fell behind
+    /// the stream and the session is failed (paper §V-B). The stream
+    /// state is unrecoverable; close the session and reopen.
+    Overflowed,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSession => write!(f, "unknown or closed session"),
+            ServiceError::Overflowed => {
+                write!(
+                    f,
+                    "session failed: decoder register overflow (stream fell behind)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-session latency accounting against the cycle budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Decode cycles available per round (the budget).
+    pub budget_cycles: u64,
+    /// Rounds decoded so far.
+    pub rounds: u64,
+    /// Total decode cycles spent.
+    pub total_cycles: u64,
+    /// Largest single-round decode cost observed.
+    pub max_cycles: u64,
+    /// Rounds whose decode step exhausted the budget with work still
+    /// pending — the backlog pressure that eventually overflows the
+    /// registers.
+    pub overruns: u64,
+}
+
+impl LatencyStats {
+    fn record(&mut self, cycles: u64, idle: bool) {
+        self.rounds += 1;
+        self.total_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
+        if !idle {
+            self.overruns += 1;
+        }
+    }
+
+    /// Mean decode cycles per round (0 when no round was decoded).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.rounds as f64
+        }
+    }
+
+    /// Fraction of the per-round budget the mean round consumes.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.budget_cycles == 0 {
+            0.0
+        } else {
+            self.mean_cycles() / self.budget_cycles as f64
+        }
+    }
+}
+
+/// Final report handed back by [`DecodeService::close_session`].
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Corrections emitted since the last poll, including everything the
+    /// closing drain resolved. Empty when the session overflowed — a
+    /// failed stream's corrections are withdrawn, consistent with
+    /// [`DecodeService::poll_corrections`] erroring after overflow.
+    pub corrections: Vec<Edge>,
+    /// Latency accounting over the session's budget-bound serving
+    /// rounds. The closing drain is *not* included — see
+    /// [`Self::closing_cycles`].
+    pub latency: LatencyStats,
+    /// Cycles the unbounded closing drain consumed at teardown. Kept
+    /// out of [`Self::latency`] so per-round budget utilisation is not
+    /// skewed by the one decode that has no deadline.
+    pub closing_cycles: u64,
+    /// `true` when the session failed by register overflow.
+    pub overflowed: bool,
+    /// Rounds ingested over the session's lifetime.
+    pub rounds_ingested: u64,
+}
+
+/// One live session: backend decoder, inbound round queue, emitted
+/// corrections and latency accounting.
+struct Session {
+    backend: Box<dyn Decoder + Send>,
+    /// Rounds accepted but not yet decoded.
+    inbox: VecDeque<DetectionRound>,
+    /// Retired round buffers awaiting reuse.
+    spare: Vec<DetectionRound>,
+    /// Reused per-step decode output.
+    scratch: DecodeOutput,
+    /// Corrections emitted and not yet consumed by a poll.
+    corrections: Vec<Edge>,
+    consumed: usize,
+    latency: LatencyStats,
+    overflowed: bool,
+    rounds_ingested: u64,
+}
+
+impl Session {
+    fn new(backend: Box<dyn Decoder + Send>, budget_cycles: u64) -> Self {
+        Self {
+            backend,
+            inbox: VecDeque::new(),
+            spare: Vec::new(),
+            scratch: DecodeOutput::default(),
+            corrections: Vec::new(),
+            consumed: 0,
+            latency: LatencyStats {
+                budget_cycles,
+                ..LatencyStats::default()
+            },
+            overflowed: false,
+            rounds_ingested: 0,
+        }
+    }
+
+    fn enqueue(&mut self, round: &DetectionRound) {
+        let mut buf = self
+            .spare
+            .pop()
+            .unwrap_or_else(|| DetectionRound::zeros(round.events().len()));
+        buf.copy_from(round);
+        self.inbox.push_back(buf);
+        self.rounds_ingested += 1;
+    }
+
+    /// Reclaims the already-polled prefix of the correction buffer so a
+    /// long-lived session's memory stays bounded by one poll interval's
+    /// worth of corrections (the borrow handed out by the previous poll
+    /// has necessarily ended by the time this runs).
+    fn compact_corrections(&mut self) {
+        if self.consumed > 0 {
+            self.corrections.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    /// Decodes every queued round in arrival order, each under the
+    /// per-round budget. The session hot loop: no allocation once warm.
+    fn drain_inbox(&mut self, budget: u64) {
+        self.compact_corrections();
+        while let Some(round) = self.inbox.pop_front() {
+            if !self.overflowed {
+                match self.backend.ingest(&round) {
+                    Ok(()) => {
+                        self.backend.decode_step(Some(budget), &mut self.scratch);
+                        self.corrections
+                            .extend_from_slice(&self.scratch.corrections);
+                        self.latency.record(self.scratch.cycles, self.scratch.idle);
+                    }
+                    Err(RegOverflow { .. }) => self.overflowed = true,
+                }
+            }
+            self.spare.push(round);
+        }
+    }
+
+    /// End-of-stream: rounds still queued are ingested *without* a
+    /// budgeted step — teardown has no real-time deadline, so they fold
+    /// into the backend's final unbounded drain, exactly like the
+    /// closing perfect round of an offline memory-experiment trial.
+    ///
+    /// Returns the cycles the closing drain consumed. They are reported
+    /// separately in the [`SessionReport`] rather than folded into
+    /// [`LatencyStats`], which tracks only budget-bound serving rounds.
+    fn finish(&mut self) -> u64 {
+        while let Some(round) = self.inbox.pop_front() {
+            if !self.overflowed && self.backend.ingest(&round).is_err() {
+                self.overflowed = true;
+            }
+            self.spare.push(round);
+        }
+        if self.overflowed {
+            return 0;
+        }
+        self.backend.finish(&mut self.scratch);
+        self.corrections
+            .extend_from_slice(&self.scratch.corrections);
+        self.scratch.cycles
+    }
+}
+
+/// A slot in the session table; closed slots keep their generation so
+/// stale [`SessionId`]s can be told apart from recycled ones.
+struct Slot {
+    generation: u32,
+    session: Option<Session>,
+}
+
+/// The long-lived decoding service. See the module docs for the session
+/// lifecycle and guarantees.
+pub struct DecodeService {
+    lattice: Lattice,
+    config: ServiceConfig,
+    budget_cycles: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl fmt::Debug for DecodeService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeService")
+            .field("config", &self.config)
+            .field("open_sessions", &self.num_sessions())
+            .finish()
+    }
+}
+
+impl DecodeService {
+    /// Creates a service for the configured code distance and backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError`] when the code distance is invalid.
+    pub fn new(config: ServiceConfig) -> Result<Self, LatticeError> {
+        let lattice = Lattice::new(config.d)?;
+        let budget_cycles = config.budget.cycles_per_round();
+        Ok(Self {
+            lattice,
+            config,
+            budget_cycles,
+            slots: Vec::new(),
+            free: Vec::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Decode cycles every round is budgeted (clock × interval).
+    pub fn budget_cycles(&self) -> u64 {
+        self.budget_cycles
+    }
+
+    /// Number of currently open sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.slots.iter().filter(|s| s.session.is_some()).count()
+    }
+
+    fn make_backend(&self) -> Box<dyn Decoder + Send> {
+        match self.config.backend {
+            ServiceBackend::Qecool => Box::new(QecoolDecoder::new(
+                self.lattice.clone(),
+                QecoolConfig::online().with_boundary_penalty(self.config.boundary_penalty),
+            )),
+            ServiceBackend::UnionFind => Box::new(StreamingUf::new(self.lattice.clone())),
+            ServiceBackend::Mwpm => Box::new(StreamingMwpm::new(self.lattice.clone())),
+        }
+    }
+
+    /// Opens a new session and returns its handle. Slots of closed
+    /// sessions are recycled; their old handles stay invalid.
+    pub fn open_session(&mut self) -> SessionId {
+        let session = Session::new(self.make_backend(), self.budget_cycles);
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.generation += 1;
+            slot.session = Some(session);
+            return SessionId {
+                index,
+                generation: slot.generation,
+            };
+        }
+        self.slots.push(Slot {
+            generation: 0,
+            session: Some(session),
+        });
+        SessionId {
+            index: (self.slots.len() - 1) as u32,
+            generation: 0,
+        }
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServiceError> {
+        self.slots
+            .get_mut(id.index as usize)
+            .filter(|slot| slot.generation == id.generation)
+            .and_then(|slot| slot.session.as_mut())
+            .ok_or(ServiceError::UnknownSession)
+    }
+
+    fn session(&self, id: SessionId) -> Result<&Session, ServiceError> {
+        self.slots
+            .get(id.index as usize)
+            .filter(|slot| slot.generation == id.generation)
+            .and_then(|slot| slot.session.as_ref())
+            .ok_or(ServiceError::UnknownSession)
+    }
+
+    /// Accepts one detection round into a session's stream. The round is
+    /// copied into a recycled buffer; decoding happens on the next
+    /// [`Self::poll_corrections`] or [`Self::pump`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles,
+    /// [`ServiceError::Overflowed`] once the session has failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round width does not match the service's lattice.
+    pub fn push_round(
+        &mut self,
+        id: SessionId,
+        round: &DetectionRound,
+    ) -> Result<(), ServiceError> {
+        let width = self.lattice.num_ancillas();
+        let session = self.session_mut(id)?;
+        if session.overflowed {
+            return Err(ServiceError::Overflowed);
+        }
+        assert_eq!(
+            round.events().len(),
+            width,
+            "round width does not match service lattice"
+        );
+        session.enqueue(round);
+        Ok(())
+    }
+
+    /// Batch ingest: pushes every round of `rounds` in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::push_round`]; ingestion stops at the first error.
+    pub fn feed<'a, I>(&mut self, id: SessionId, rounds: I) -> Result<(), ServiceError>
+    where
+        I: IntoIterator<Item = &'a DetectionRound>,
+    {
+        for round in rounds {
+            self.push_round(id, round)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes a session's pending rounds (in arrival order, each under
+    /// the cycle budget) and returns the corrections emitted since the
+    /// previous poll. The returned slice is consumed: the next poll only
+    /// reports newer corrections.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles,
+    /// [`ServiceError::Overflowed`] when the drain hit a register
+    /// overflow (the stream is failed; corrections are withdrawn).
+    pub fn poll_corrections(&mut self, id: SessionId) -> Result<&[Edge], ServiceError> {
+        let budget = self.budget_cycles;
+        let session = self.session_mut(id)?;
+        session.drain_inbox(budget);
+        if session.overflowed {
+            return Err(ServiceError::Overflowed);
+        }
+        let fresh = &session.corrections[session.consumed..];
+        session.consumed = session.corrections.len();
+        Ok(fresh)
+    }
+
+    /// Latency accounting of one session so far.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn latency(&self, id: SessionId) -> Result<LatencyStats, ServiceError> {
+        Ok(self.session(id)?.latency)
+    }
+
+    /// `true` once the session has failed by register overflow.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn is_overflowed(&self, id: SessionId) -> Result<bool, ServiceError> {
+        Ok(self.session(id)?.overflowed)
+    }
+
+    /// Drives every session's pending rounds to completion on the worker
+    /// pool. Each session is advanced by exactly one worker, in arrival
+    /// order, so results are independent of the thread count.
+    ///
+    /// Workers are scoped threads spawned per pump (and only when more
+    /// than one session actually has pending work); for very small
+    /// session counts the single-threaded path is taken outright. A
+    /// persistent worker pool would amortise the spawn cost further —
+    /// tracked on the ROADMAP.
+    pub fn pump(&mut self) {
+        let budget = self.budget_cycles;
+        let pending = self
+            .slots
+            .iter()
+            .filter(|slot| slot.session.as_ref().is_some_and(|s| !s.inbox.is_empty()))
+            .count();
+        if pending == 0 {
+            return;
+        }
+        let threads = self.effective_threads().min(pending);
+        if threads <= 1 {
+            for slot in &mut self.slots {
+                if let Some(session) = &mut slot.session {
+                    session.drain_inbox(budget);
+                }
+            }
+            return;
+        }
+        let chunk = self.slots.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for slice in self.slots.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for slot in slice {
+                        if let Some(session) = &mut slot.session {
+                            session.drain_inbox(budget);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    fn effective_threads(&self) -> usize {
+        let hw = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        hw.min(self.slots.len()).max(1)
+    }
+
+    /// Closes a session: ingests everything still queued, finishes the
+    /// backend (windowed baselines decode their whole window here; the
+    /// QECOOL backend drains its remaining layers without a cycle
+    /// deadline — teardown is not real-time), and frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles. An overflowed
+    /// session closes *successfully* — the failure is reported in the
+    /// [`SessionReport`], mirroring how a Monte-Carlo trial records
+    /// overflow as a failed shot rather than a harness error.
+    pub fn close_session(&mut self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        // Validate the handle before taking the session out.
+        self.session_mut(id)?;
+        let slot = &mut self.slots[id.index as usize];
+        let mut session = slot.session.take().expect("session just validated");
+        self.free.push(id.index);
+        let closing_cycles = session.finish();
+        let corrections = if session.overflowed {
+            Vec::new()
+        } else {
+            session.corrections.split_off(session.consumed)
+        };
+        Ok(SessionReport {
+            corrections,
+            latency: session.latency,
+            closing_cycles,
+            overflowed: session.overflowed,
+            rounds_ingested: session.rounds_ingested,
+        })
+    }
+}
+
+/// Windowed [`Decoder`] adapter for the union-find baseline: rounds
+/// accumulate in a [`SyndromeHistory`]; the whole window decodes at
+/// [`Decoder::finish`].
+pub struct StreamingUf {
+    decoder: UnionFindDecoder,
+    history: SyndromeHistory,
+}
+
+impl StreamingUf {
+    /// Creates an adapter for the given lattice.
+    pub fn new(lattice: Lattice) -> Self {
+        Self {
+            decoder: UnionFindDecoder::new(lattice.clone()),
+            history: SyndromeHistory::new(lattice),
+        }
+    }
+}
+
+impl Decoder for StreamingUf {
+    fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow> {
+        self.history.push_copy(round);
+        Ok(())
+    }
+
+    fn decode_step(&mut self, _budget: Option<u64>, out: &mut DecodeOutput) {
+        out.clear();
+        out.idle = true;
+    }
+
+    fn finish(&mut self, out: &mut DecodeOutput) {
+        out.clear();
+        out.idle = true;
+        if self.history.is_empty() {
+            return;
+        }
+        let outcome = self.decoder.decode(&self.history);
+        out.corrections.extend_from_slice(&outcome.corrections);
+        self.history.clear();
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Windowed [`Decoder`] adapter for the exact-MWPM baseline (see
+/// [`StreamingUf`]).
+pub struct StreamingMwpm {
+    decoder: MwpmDecoder,
+    history: SyndromeHistory,
+}
+
+impl StreamingMwpm {
+    /// Creates an adapter for the given lattice.
+    pub fn new(lattice: Lattice) -> Self {
+        Self {
+            decoder: MwpmDecoder::new(lattice.clone()),
+            history: SyndromeHistory::new(lattice),
+        }
+    }
+}
+
+impl Decoder for StreamingMwpm {
+    fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow> {
+        self.history.push_copy(round);
+        Ok(())
+    }
+
+    fn decode_step(&mut self, _budget: Option<u64>, out: &mut DecodeOutput) {
+        out.clear();
+        out.idle = true;
+    }
+
+    fn finish(&mut self, out: &mut DecodeOutput) {
+        out.clear();
+        out.idle = true;
+        if self.history.is_empty() {
+            return;
+        }
+        let outcome = self
+            .decoder
+            .decode(&self.history)
+            .expect("doubled graph is matchable");
+        out.corrections.extend_from_slice(&outcome.corrections);
+        self.history.clear();
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qecool_surface_code::{CodePatch, PhenomenologicalNoise};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn service(backend: ServiceBackend, threads: usize) -> DecodeService {
+        let config =
+            ServiceConfig::new(5, backend, CycleBudget::at_clock(2.0e9)).with_threads(threads);
+        DecodeService::new(config).unwrap()
+    }
+
+    /// Drives one session end-to-end over a seeded noise stream,
+    /// applying corrections round by round, and returns the final patch
+    /// plus the close report.
+    fn drive_session(
+        service: &mut DecodeService,
+        seed: u64,
+        rounds: usize,
+        p: f64,
+    ) -> (CodePatch, SessionReport) {
+        let lattice = Lattice::new(service.config().d).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        let noise = PhenomenologicalNoise::symmetric(p);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        let id = service.open_session();
+        for _ in 0..rounds {
+            patch.noisy_round_into(&noise, &mut rng, &mut round);
+            service.push_round(id, &round).unwrap();
+            let corrections: Vec<Edge> = service.poll_corrections(id).unwrap().to_vec();
+            patch.apply_corrections(corrections);
+        }
+        patch.perfect_round_into(&mut round);
+        service.push_round(id, &round).unwrap();
+        let report = service.close_session(id).unwrap();
+        patch.apply_corrections(report.corrections.iter().copied());
+        (patch, report)
+    }
+
+    #[test]
+    fn qecool_session_returns_to_code_space() {
+        let mut service = service(ServiceBackend::Qecool, 1);
+        for seed in 0..10 {
+            let (patch, report) = drive_session(&mut service, seed, 5, 0.03);
+            assert!(patch.syndrome_is_trivial(), "seed {seed} left syndrome");
+            assert!(!report.overflowed);
+            assert_eq!(report.rounds_ingested, 6);
+            // 5 budget-bound serving rounds; the closing round decodes
+            // in the teardown drain, accounted separately.
+            assert_eq!(report.latency.rounds, 5);
+            assert!(report.closing_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn windowed_backends_return_to_code_space() {
+        for backend in [ServiceBackend::UnionFind, ServiceBackend::Mwpm] {
+            let mut service = service(backend, 1);
+            for seed in 0..5 {
+                let (patch, report) = drive_session(&mut service, seed, 4, 0.04);
+                assert!(
+                    patch.syndrome_is_trivial(),
+                    "{backend:?} seed {seed} left syndrome"
+                );
+                // Windowed decoders emit everything at close.
+                assert!(!report.overflowed);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_session_handles_are_rejected() {
+        let mut service = service(ServiceBackend::Qecool, 1);
+        let id = service.open_session();
+        service.close_session(id).unwrap();
+        assert_eq!(
+            service.push_round(id, &DetectionRound::zeros(40)),
+            Err(ServiceError::UnknownSession)
+        );
+        assert_eq!(
+            service.poll_corrections(id).unwrap_err(),
+            ServiceError::UnknownSession
+        );
+        assert!(service.close_session(id).is_err());
+        // The recycled slot gets a fresh generation.
+        let recycled = service.open_session();
+        assert_ne!(recycled, id);
+        assert!(service.poll_corrections(recycled).is_ok());
+    }
+
+    #[test]
+    fn overflow_fails_the_session_but_close_reports_it() {
+        // d = 5 online config has 7-layer registers and th_v = 3: an
+        // event-bearing stream with a zero-cycle budget must overflow.
+        let config = ServiceConfig::new(
+            5,
+            ServiceBackend::Qecool,
+            CycleBudget::new(1.0, 1.0), // 1 cycle per round: starved
+        );
+        let mut service = DecodeService::new(config).unwrap();
+        let id = service.open_session();
+        let lattice = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        let noise = PhenomenologicalNoise::symmetric(0.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut overflowed = false;
+        for _ in 0..20 {
+            let round = patch.noisy_round(&noise, &mut rng);
+            if service.push_round(id, &round).is_err() {
+                overflowed = true;
+                break;
+            }
+            if service.poll_corrections(id).is_err() {
+                overflowed = true;
+                break;
+            }
+        }
+        assert!(overflowed, "starved budget should overflow the registers");
+        assert!(service.is_overflowed(id).unwrap());
+        let report = service.close_session(id).unwrap();
+        assert!(report.overflowed);
+        // A failed stream's corrections are withdrawn everywhere: the
+        // close report must not hand back what poll refused to release.
+        assert!(report.corrections.is_empty());
+    }
+
+    #[test]
+    fn polled_corrections_are_reclaimed() {
+        // A long-lived session must not accumulate consumed corrections:
+        // after each poll the next drain reclaims the polled prefix, so
+        // the buffer length stays bounded by one interval's output.
+        let mut service = service(ServiceBackend::Qecool, 1);
+        let id = service.open_session();
+        let lattice = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        let noise = PhenomenologicalNoise::symmetric(0.08);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        let mut max_live = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            patch.noisy_round_into(&noise, &mut rng, &mut round);
+            service.push_round(id, &round).unwrap();
+            let fresh: Vec<Edge> = service.poll_corrections(id).unwrap().to_vec();
+            total += fresh.len();
+            patch.apply_corrections(fresh.iter().copied());
+            let session = service.slots[id.index as usize]
+                .session
+                .as_ref()
+                .expect("session open");
+            max_live = max_live.max(session.corrections.len());
+        }
+        assert!(total > 0, "noise at p = 0.08 must produce corrections");
+        assert!(
+            max_live < total,
+            "correction buffer never compacted: {max_live} live vs {total} total"
+        );
+        assert!(
+            max_live <= 64,
+            "live corrections should stay bounded by one interval, got {max_live}"
+        );
+    }
+
+    #[test]
+    fn pump_matches_poll_across_thread_counts() {
+        // Feed the same 8 streams into three services that differ only
+        // in worker count; per-session corrections must be identical.
+        let sessions = 8usize;
+        let rounds = 6usize;
+        let lattice = Lattice::new(5).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.03);
+
+        let mut per_thread_results: Vec<Vec<Vec<Edge>>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut service = service(ServiceBackend::Qecool, threads);
+            let ids: Vec<SessionId> = (0..sessions).map(|_| service.open_session()).collect();
+            let mut patches: Vec<CodePatch> = (0..sessions)
+                .map(|_| CodePatch::new(lattice.clone()))
+                .collect();
+            let mut rngs: Vec<ChaCha8Rng> = (0..sessions)
+                .map(|s| ChaCha8Rng::seed_from_u64(900 + s as u64))
+                .collect();
+            let mut collected: Vec<Vec<Edge>> = vec![Vec::new(); sessions];
+            let mut round = DetectionRound::zeros(lattice.num_ancillas());
+            for _ in 0..rounds {
+                for s in 0..sessions {
+                    patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
+                    service.push_round(ids[s], &round).unwrap();
+                }
+                service.pump();
+                for s in 0..sessions {
+                    let fresh: Vec<Edge> = service.poll_corrections(ids[s]).unwrap().to_vec();
+                    patches[s].apply_corrections(fresh.iter().copied());
+                    collected[s].extend(fresh);
+                }
+            }
+            for s in 0..sessions {
+                patches[s].perfect_round_into(&mut round);
+                service.push_round(ids[s], &round).unwrap();
+                let report = service.close_session(ids[s]).unwrap();
+                collected[s].extend(report.corrections);
+            }
+            per_thread_results.push(collected);
+        }
+        assert_eq!(
+            per_thread_results[0], per_thread_results[1],
+            "1 vs 2 threads"
+        );
+        assert_eq!(
+            per_thread_results[0], per_thread_results[2],
+            "1 vs 8 threads"
+        );
+    }
+
+    #[test]
+    fn latency_tracks_budget_and_overruns() {
+        let mut service = service(ServiceBackend::Qecool, 1);
+        let (_, report) = drive_session(&mut service, 11, 6, 0.05);
+        let lat = report.latency;
+        assert_eq!(lat.budget_cycles, 2000);
+        assert_eq!(lat.rounds, 6);
+        assert!(lat.total_cycles > 0);
+        assert!(lat.max_cycles <= lat.total_cycles);
+        assert!(lat.mean_cycles() > 0.0);
+        assert!(lat.mean_utilisation() > 0.0);
+    }
+
+    #[test]
+    fn feed_is_equivalent_to_pushing_each_round() {
+        let lattice = Lattice::new(5).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        // Pre-generate the stream so both paths see identical rounds.
+        let mut patch = CodePatch::new(lattice.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut rounds: Vec<DetectionRound> = (0..5)
+            .map(|_| patch.noisy_round(&noise, &mut rng))
+            .collect();
+        rounds.push(patch.perfect_round());
+
+        let run = |batch: bool| -> Vec<Edge> {
+            let mut service = service(ServiceBackend::UnionFind, 1);
+            let id = service.open_session();
+            if batch {
+                service.feed(id, rounds.iter()).unwrap();
+            } else {
+                for r in &rounds {
+                    service.push_round(id, r).unwrap();
+                }
+            }
+            service.close_session(id).unwrap().corrections
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

@@ -298,7 +298,10 @@ mod tests {
 
     #[test]
     fn empty_clopper_pearson_is_vacuous() {
-        assert_eq!(RateEstimate::new(0, 0).clopper_pearson_interval(), (0.0, 1.0));
+        assert_eq!(
+            RateEstimate::new(0, 0).clopper_pearson_interval(),
+            (0.0, 1.0)
+        );
     }
 
     #[test]
@@ -321,8 +324,7 @@ mod tests {
         assert!((agg.mean() - mean).abs() < 1e-12);
         assert_eq!(agg.max, 9);
         assert_eq!(agg.count, 5);
-        let var =
-            data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / data.len() as f64;
         assert!((agg.std_dev() - var.sqrt()).abs() < 1e-9);
     }
 

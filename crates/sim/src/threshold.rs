@@ -37,7 +37,10 @@ impl Curve {
         if pts.len() < 2 || p < pts[0].0 || p > pts[pts.len() - 1].0 {
             return None;
         }
-        let idx = pts.partition_point(|&(x, _)| x < p).min(pts.len() - 1).max(1);
+        let idx = pts
+            .partition_point(|&(x, _)| x < p)
+            .min(pts.len() - 1)
+            .max(1);
         let (x0, y0) = pts[idx - 1];
         let (x1, y1) = pts[idx];
         if x0 == x1 {
@@ -154,7 +157,10 @@ mod tests {
 
     #[test]
     fn recovers_synthetic_threshold() {
-        let curves: Vec<Curve> = [5, 7, 9, 11].iter().map(|&d| synthetic_curve(d, 0.015)).collect();
+        let curves: Vec<Curve> = [5, 7, 9, 11]
+            .iter()
+            .map(|&d| synthetic_curve(d, 0.015))
+            .collect();
         let est = estimate_threshold(&curves).expect("crossing exists");
         assert!(
             (est.pth - 0.015).abs() / 0.015 < 0.05,

@@ -10,12 +10,13 @@
 //! measurements under a per-layer cycle budget, and register overflow
 //! counts as a failure (paper §V-B).
 
-use qecool::{QecoolConfig, QecoolDecoder, DEFAULT_BOUNDARY_PENALTY};
+use qecool::{QecoolConfig, QecoolDecoder, RunReport, DEFAULT_BOUNDARY_PENALTY};
 use qecool_mwpm::MwpmDecoder;
-use qecool_uf::UnionFindDecoder;
 use qecool_surface_code::{
-    CodeCapacityNoise, CodePatch, Lattice, NoiseModel, PhenomenologicalNoise, SyndromeHistory,
+    CodeCapacityNoise, CodePatch, DetectionRound, Lattice, NoiseModel, PhenomenologicalNoise,
+    SyndromeHistory,
 };
+use qecool_uf::UnionFindDecoder;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -136,6 +137,10 @@ pub struct TrialScratch {
     qecool: Option<QecoolDecoder>,
     mwpm: Option<MwpmDecoder>,
     uf: Option<UnionFindDecoder>,
+    /// Reused detection-round buffer (the `measure_into` target).
+    round: Option<DetectionRound>,
+    /// Reused decode report for the QECOOL paths.
+    report: RunReport,
 }
 
 impl TrialScratch {
@@ -156,6 +161,7 @@ impl TrialScratch {
             self.qecool = None;
             self.mwpm = None;
             self.uf = None;
+            self.round = Some(DetectionRound::zeros(lattice.num_ancillas()));
             self.lattice = Some(lattice);
         }
         let lattice = self.lattice.as_ref().expect("lattice just warmed");
@@ -244,17 +250,24 @@ pub fn run_trial_into(
         qecool,
         mwpm,
         uf,
+        round,
+        report,
     } = scratch;
     let patch = patch.as_mut().expect("patch warmed");
+    let round = round.as_mut().expect("round buffer warmed");
     patch.reset();
     match cfg.noise {
         NoiseKind::Phenomenological => {
             let noise = PhenomenologicalNoise::symmetric(cfg.p);
-            run_with_noise(cfg, patch, history, qecool, mwpm, uf, &noise, &mut rng, out);
+            run_with_noise(
+                cfg, patch, history, qecool, mwpm, uf, round, report, &noise, &mut rng, out,
+            );
         }
         NoiseKind::CodeCapacity => {
             let noise = CodeCapacityNoise::new(cfg.p);
-            run_with_noise(cfg, patch, history, qecool, mwpm, uf, &noise, &mut rng, out);
+            run_with_noise(
+                cfg, patch, history, qecool, mwpm, uf, round, report, &noise, &mut rng, out,
+            );
         }
     }
 }
@@ -267,6 +280,8 @@ fn run_with_noise<N: NoiseModel>(
     qecool: &mut Option<QecoolDecoder>,
     mwpm: &Option<MwpmDecoder>,
     uf: &Option<UnionFindDecoder>,
+    round: &mut DetectionRound,
+    report: &mut RunReport,
     noise: &N,
     rng: &mut ChaCha8Rng,
     out: &mut TrialOutcome,
@@ -284,11 +299,21 @@ fn run_with_noise<N: NoiseModel>(
         }
         DecoderKind::BatchQecool => {
             let decoder = qecool.as_mut().expect("qecool warmed");
-            run_batch_qecool(cfg, patch, decoder, noise, rng, out);
+            run_batch_qecool(cfg, patch, decoder, round, report, noise, rng, out);
         }
         DecoderKind::OnlineQecool { budget_cycles } => {
             let decoder = qecool.as_mut().expect("qecool warmed");
-            run_online_qecool(cfg, patch, decoder, noise, rng, budget_cycles, out);
+            run_online_qecool(
+                cfg,
+                patch,
+                decoder,
+                round,
+                report,
+                noise,
+                rng,
+                budget_cycles,
+                out,
+            );
         }
     }
 }
@@ -312,9 +337,9 @@ fn run_mwpm<N: NoiseModel>(
 ) {
     history.clear();
     for _ in 0..cfg.rounds {
-        history.push(patch.noisy_round(noise, rng));
+        patch.noisy_round_into(noise, rng, history.begin_round());
     }
-    history.push(patch.perfect_round());
+    patch.perfect_round_into(history.begin_round());
     let outcome = decoder.decode(history).expect("doubled graph is matchable");
     outcome.apply(patch);
     finish_into(patch, out);
@@ -339,35 +364,38 @@ fn run_union_find<N: NoiseModel>(
 ) {
     history.clear();
     for _ in 0..cfg.rounds {
-        history.push(patch.noisy_round(noise, rng));
+        patch.noisy_round_into(noise, rng, history.begin_round());
     }
-    history.push(patch.perfect_round());
+    patch.perfect_round_into(history.begin_round());
     let outcome = decoder.decode(history);
     outcome.apply(patch);
     finish_into(patch, out);
     out.matches = outcome.corrections.len();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_batch_qecool<N: NoiseModel>(
     cfg: &TrialConfig,
     patch: &mut CodePatch,
     decoder: &mut QecoolDecoder,
+    round: &mut DetectionRound,
+    report: &mut RunReport,
     noise: &N,
     rng: &mut ChaCha8Rng,
     out: &mut TrialOutcome,
 ) {
     decoder.reset();
     for _ in 0..cfg.rounds {
-        let round = patch.noisy_round(noise, rng);
+        patch.noisy_round_into(noise, rng, round);
         decoder
-            .push_round(&round)
+            .push_round(round)
             .expect("batch capacity covers the window");
     }
-    let closing = patch.perfect_round();
+    patch.perfect_round_into(round);
     decoder
-        .push_round(&closing)
+        .push_round(round)
         .expect("batch capacity covers the window");
-    let report = decoder.drain();
+    decoder.drain_into(report);
     patch.apply_corrections(report.corrections.iter().copied());
     finish_into(patch, out);
     fill_qecool_telemetry(out, decoder);
@@ -378,6 +406,8 @@ fn run_online_qecool<N: NoiseModel>(
     cfg: &TrialConfig,
     patch: &mut CodePatch,
     decoder: &mut QecoolDecoder,
+    round: &mut DetectionRound,
+    report: &mut RunReport,
     noise: &N,
     rng: &mut ChaCha8Rng,
     budget_cycles: u64,
@@ -385,20 +415,20 @@ fn run_online_qecool<N: NoiseModel>(
 ) {
     decoder.reset();
     for _ in 0..cfg.rounds {
-        let round = patch.noisy_round(noise, rng);
-        if decoder.push_round(&round).is_err() {
+        patch.noisy_round_into(noise, rng, round);
+        if decoder.push_round(round).is_err() {
             overflow_outcome(decoder, out);
             return;
         }
-        let report = decoder.run(Some(budget_cycles));
+        decoder.run_into(Some(budget_cycles), report);
         patch.apply_corrections(report.corrections.iter().copied());
     }
-    let closing = patch.perfect_round();
-    if decoder.push_round(&closing).is_err() {
+    patch.perfect_round_into(round);
+    if decoder.push_round(round).is_err() {
         overflow_outcome(decoder, out);
         return;
     }
-    let report = decoder.drain();
+    decoder.drain_into(report);
     patch.apply_corrections(report.corrections.iter().copied());
     finish_into(patch, out);
     fill_qecool_telemetry(out, decoder);
@@ -427,7 +457,9 @@ mod tests {
         for decoder in [
             DecoderKind::BatchQecool,
             DecoderKind::Mwpm,
-            DecoderKind::OnlineQecool { budget_cycles: 2000 },
+            DecoderKind::OnlineQecool {
+                budget_cycles: 2000,
+            },
         ] {
             let cfg = TrialConfig::standard(5, 0.0, decoder);
             for seed in 0..5 {
@@ -455,7 +487,10 @@ mod tests {
         let mut q_fail = 0;
         let mut m_fail = 0;
         for seed in 0..40 {
-            let q = run_trial(&TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool), seed);
+            let q = run_trial(
+                &TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool),
+                seed,
+            );
             let m = run_trial(&TrialConfig::standard(5, 0.04, DecoderKind::Mwpm), seed);
             q_fail += usize::from(q.logical_error);
             m_fail += usize::from(m.logical_error);
@@ -495,7 +530,10 @@ mod tests {
         let overflows: usize = (0..20)
             .map(|s| usize::from(run_trial(&cfg, s).overflow))
             .sum();
-        assert!(overflows > 10, "expected frequent overflow, got {overflows}/20");
+        assert!(
+            overflows > 10,
+            "expected frequent overflow, got {overflows}/20"
+        );
     }
 
     #[test]
@@ -517,14 +555,23 @@ mod tests {
             TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool),
             TrialConfig::standard(3, 0.04, DecoderKind::Mwpm),
             TrialConfig::standard(5, 0.04, DecoderKind::UnionFind),
-            TrialConfig::standard(5, 0.04, DecoderKind::OnlineQecool { budget_cycles: 2000 }),
+            TrialConfig::standard(
+                5,
+                0.04,
+                DecoderKind::OnlineQecool {
+                    budget_cycles: 2000,
+                },
+            ),
             TrialConfig::standard(3, 0.04, DecoderKind::BatchQecool),
         ];
         for seed in 0..6u64 {
             for cfg in &mix {
                 run_trial_into(cfg, seed, &mut scratch, &mut out);
                 let fresh = run_trial(cfg, seed);
-                assert_eq!(out.logical_error, fresh.logical_error, "{cfg:?} seed {seed}");
+                assert_eq!(
+                    out.logical_error, fresh.logical_error,
+                    "{cfg:?} seed {seed}"
+                );
                 assert_eq!(out.overflow, fresh.overflow);
                 assert_eq!(out.layer_cycles, fresh.layer_cycles);
                 assert_eq!(out.vertical_hist, fresh.vertical_hist);

@@ -105,6 +105,17 @@ impl BitVec {
         }
     }
 
+    /// Overwrites this vector with the contents of `other` without
+    /// allocating — the word buffers are copied in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Parity (XOR) of the bits selected by `indices`.
     ///
     /// # Panics
@@ -248,6 +259,24 @@ mod tests {
         }
         let got: Vec<usize> = bits.iter_ones().collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut dst = BitVec::zeros(100);
+        dst.set(7, true);
+        let mut src = BitVec::zeros(100);
+        src.set(64, true);
+        src.set(99, true);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert!(!dst.get(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_rejects_width_mismatch() {
+        BitVec::zeros(10).copy_from(&BitVec::zeros(11));
     }
 
     #[test]

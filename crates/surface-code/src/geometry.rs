@@ -323,10 +323,9 @@ impl Lattice {
                     (Ancilla::new(row, pos - 1), Some(Ancilla::new(row, pos)))
                 }
             }
-            EdgeKind::Vertical { row, col } => (
-                Ancilla::new(row, col),
-                Some(Ancilla::new(row + 1, col)),
-            ),
+            EdgeKind::Vertical { row, col } => {
+                (Ancilla::new(row, col), Some(Ancilla::new(row + 1, col)))
+            }
         }
     }
 
@@ -597,7 +596,12 @@ mod tests {
         let lat = Lattice::new(7).unwrap();
         let logical: std::collections::HashSet<Edge> = lat.logical_x(3).into_iter().collect();
         for a in lat.ancillas() {
-            let parity = lat.support(a).iter().filter(|e| logical.contains(e)).count() % 2;
+            let parity = lat
+                .support(a)
+                .iter()
+                .filter(|e| logical.contains(e))
+                .count()
+                % 2;
             assert_eq!(parity, 0, "logical operator must commute with {a}");
         }
     }

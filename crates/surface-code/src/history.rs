@@ -33,7 +33,10 @@ use crate::syndrome::{DetectionEvent, DetectionRound};
 #[derive(Debug, Clone)]
 pub struct SyndromeHistory {
     lattice: Lattice,
+    /// Round storage. Only `rounds[..live]` are collected data; the tail
+    /// holds retired buffers kept warm for [`Self::begin_round`] reuse.
     rounds: Vec<DetectionRound>,
+    live: usize,
 }
 
 impl SyndromeHistory {
@@ -42,6 +45,7 @@ impl SyndromeHistory {
         Self {
             lattice,
             rounds: Vec::new(),
+            live: 0,
         }
     }
 
@@ -61,45 +65,82 @@ impl SyndromeHistory {
             self.lattice.num_ancillas(),
             "round width does not match lattice"
         );
-        self.rounds.push(round);
+        if self.live < self.rounds.len() {
+            self.rounds[self.live] = round;
+        } else {
+            self.rounds.push(round);
+        }
+        self.live += 1;
+    }
+
+    /// Appends a copy of `round`, reusing a retired round buffer when one
+    /// is available — the allocation-free sibling of [`Self::push`] for
+    /// hot loops that keep ownership of their round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round's width does not match the lattice.
+    pub fn push_copy(&mut self, round: &DetectionRound) {
+        assert_eq!(
+            round.events().len(),
+            self.lattice.num_ancillas(),
+            "round width does not match lattice"
+        );
+        self.begin_round().copy_from(round);
+    }
+
+    /// Opens the next (newest) layer in place and returns it for the
+    /// caller to fill — typically as the target of
+    /// [`CodePatch::measure_into`](crate::CodePatch::measure_into).
+    /// Reuses a buffer retired by [`Self::clear`] when one is available;
+    /// the returned round starts all-quiet either way.
+    pub fn begin_round(&mut self) -> &mut DetectionRound {
+        if self.live < self.rounds.len() {
+            self.rounds[self.live].clear();
+        } else {
+            self.rounds
+                .push(DetectionRound::zeros(self.lattice.num_ancillas()));
+        }
+        self.live += 1;
+        &mut self.rounds[self.live - 1]
     }
 
     /// Number of rounds collected.
     pub fn num_rounds(&self) -> usize {
-        self.rounds.len()
+        self.live
     }
 
-    /// Discards all collected rounds, keeping the allocation for reuse
-    /// across Monte-Carlo shots.
+    /// Discards all collected rounds, keeping every round buffer for
+    /// reuse across Monte-Carlo shots and service windows.
     pub fn clear(&mut self) {
-        self.rounds.clear();
+        self.live = 0;
     }
 
     /// `true` when no round has been pushed.
     pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+        self.live == 0
     }
 
     /// The round at time layer `t` (0 = oldest).
     pub fn round(&self, t: usize) -> Option<&DetectionRound> {
-        self.rounds.get(t)
+        self.rounds[..self.live].get(t)
     }
 
     /// Iterates over the rounds from oldest to newest.
     pub fn iter(&self) -> std::slice::Iter<'_, DetectionRound> {
-        self.rounds.iter()
+        self.rounds[..self.live].iter()
     }
 
     /// Total number of detection events across all rounds.
     pub fn num_events(&self) -> usize {
-        self.rounds.iter().map(DetectionRound::num_events).sum()
+        self.iter().map(DetectionRound::num_events).sum()
     }
 
     /// Enumerates every detection event as a 3-D lattice node, ordered by
     /// round then ancilla index.
     pub fn events(&self) -> Vec<DetectionEvent> {
         let mut out = Vec::with_capacity(self.num_events());
-        for (t, round) in self.rounds.iter().enumerate() {
+        for (t, round) in self.iter().enumerate() {
             for idx in round.events().iter_ones() {
                 out.push(DetectionEvent::new(self.lattice.ancilla_from_index(idx), t));
             }
@@ -110,8 +151,7 @@ impl SyndromeHistory {
     /// Events of a single ancilla across time (ascending rounds).
     pub fn events_of(&self, a: Ancilla) -> Vec<usize> {
         let idx = self.lattice.ancilla_index(a);
-        self.rounds
-            .iter()
+        self.iter()
             .enumerate()
             .filter_map(|(t, r)| r.fired(idx).then_some(t))
             .collect()
@@ -164,6 +204,45 @@ mod tests {
         h.push(round_with(&lat, &[]));
         h.push(round_with(&lat, &[3]));
         assert_eq!(h.events_of(a), vec![0, 2]);
+    }
+
+    #[test]
+    fn clear_retires_buffers_for_begin_round_reuse() {
+        let lat = Lattice::new(3).unwrap();
+        let mut h = SyndromeHistory::new(lat.clone());
+        h.push(round_with(&lat, &[0, 3]));
+        h.push(round_with(&lat, &[5]));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.num_rounds(), 0);
+        assert!(h.round(0).is_none());
+        // A fresh layer reuses the retired buffer and starts quiet.
+        let r = h.begin_round();
+        assert!(r.is_quiet());
+        r.events_mut().set(2, true);
+        assert_eq!(h.num_rounds(), 1);
+        assert_eq!(h.round(0).unwrap().fired_indices(), vec![2]);
+        assert_eq!(h.num_events(), 1);
+    }
+
+    #[test]
+    fn push_copy_matches_push() {
+        let lat = Lattice::new(3).unwrap();
+        let source = round_with(&lat, &[1, 4]);
+        let mut by_value = SyndromeHistory::new(lat.clone());
+        by_value.push(source.clone());
+        let mut by_copy = SyndromeHistory::new(lat.clone());
+        by_copy.push_copy(&source);
+        assert_eq!(by_value.round(0), by_copy.round(0));
+        assert_eq!(by_copy.events(), by_value.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match lattice")]
+    fn push_copy_rejects_mismatched_round() {
+        let lat = Lattice::new(3).unwrap();
+        let mut h = SyndromeHistory::new(lat);
+        h.push_copy(&DetectionRound::zeros(2));
     }
 
     #[test]

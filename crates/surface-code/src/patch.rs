@@ -47,6 +47,9 @@ pub struct CodePatch {
     /// Last *reported* syndrome value per ancilla, corrected for decoder
     /// actions (the latch).
     last_reported: BitVec,
+    /// Reused staging buffer for the reported syndrome of the round being
+    /// measured — what makes [`Self::measure_into`] allocation-free.
+    reported_scratch: BitVec,
     rounds_measured: usize,
 }
 
@@ -59,6 +62,7 @@ impl CodePatch {
             lattice,
             errors: BitVec::zeros(n_edges),
             last_reported: BitVec::zeros(n_anc),
+            reported_scratch: BitVec::zeros(n_anc),
             rounds_measured: 0,
         }
     }
@@ -116,6 +120,22 @@ impl CodePatch {
     /// The true (noiseless) syndrome of the current error state.
     pub fn true_syndrome(&self) -> BitVec {
         let mut syn = BitVec::zeros(self.lattice.num_ancillas());
+        self.true_syndrome_into(&mut syn);
+        syn
+    }
+
+    /// Writes the true syndrome into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one bit per ancilla.
+    pub fn true_syndrome_into(&self, out: &mut BitVec) {
+        assert_eq!(
+            out.len(),
+            self.lattice.num_ancillas(),
+            "syndrome buffer width does not match lattice"
+        );
+        out.clear();
         for (idx, a) in self.lattice.ancillas().enumerate() {
             let parity = self
                 .lattice
@@ -123,10 +143,9 @@ impl CodePatch {
                 .iter()
                 .fold(false, |acc, e| acc ^ self.errors.get(e.index()));
             if parity {
-                syn.set(idx, true);
+                out.set(idx, true);
             }
         }
-        syn
     }
 
     /// Measures every stabilizer with measurement noise and returns the
@@ -136,8 +155,27 @@ impl CodePatch {
         noise: &N,
         rng: &mut R,
     ) -> DetectionRound {
+        let mut out = DetectionRound::zeros(self.lattice.num_ancillas());
+        self.measure_into(noise, rng, &mut out);
+        out
+    }
+
+    /// [`Self::measure`] into a reused round buffer: identical physics and
+    /// RNG stream, zero allocations. This is the hot-loop variant the
+    /// Monte-Carlo engine and the decoding service run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one bit per ancilla.
+    pub fn measure_into<N: NoiseModel, R: Rng + ?Sized>(
+        &mut self,
+        noise: &N,
+        rng: &mut R,
+        out: &mut DetectionRound,
+    ) {
         let q = noise.measurement_error_rate();
-        let mut reported = self.true_syndrome();
+        let mut reported = std::mem::take(&mut self.reported_scratch);
+        self.true_syndrome_into(&mut reported);
         if q > 0.0 {
             for idx in 0..reported.len() {
                 if rng.gen_bool(q) {
@@ -145,11 +183,7 @@ impl CodePatch {
                 }
             }
         }
-        let mut events = reported.clone();
-        events ^= &self.last_reported;
-        self.last_reported = reported;
-        self.rounds_measured += 1;
-        DetectionRound::new(events)
+        self.latch_events_into(reported, out);
     }
 
     /// One full noisy QEC round: data noise, then noisy measurement.
@@ -162,16 +196,51 @@ impl CodePatch {
         self.measure(noise, rng)
     }
 
+    /// [`Self::noisy_round`] into a reused round buffer (see
+    /// [`Self::measure_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one bit per ancilla.
+    pub fn noisy_round_into<N: NoiseModel, R: Rng + ?Sized>(
+        &mut self,
+        noise: &N,
+        rng: &mut R,
+        out: &mut DetectionRound,
+    ) {
+        self.apply_data_noise(noise, rng);
+        self.measure_into(noise, rng, out);
+    }
+
     /// A perfect (noiseless) measurement round, used to close the syndrome
     /// history at the end of a trial — the standard way to terminate a
     /// fault-tolerant memory experiment.
     pub fn perfect_round(&mut self) -> DetectionRound {
-        let reported = self.true_syndrome();
-        let mut events = reported.clone();
-        events ^= &self.last_reported;
-        self.last_reported = reported;
+        let mut out = DetectionRound::zeros(self.lattice.num_ancillas());
+        self.perfect_round_into(&mut out);
+        out
+    }
+
+    /// [`Self::perfect_round`] into a reused round buffer (see
+    /// [`Self::measure_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one bit per ancilla.
+    pub fn perfect_round_into(&mut self, out: &mut DetectionRound) {
+        let mut reported = std::mem::take(&mut self.reported_scratch);
+        self.true_syndrome_into(&mut reported);
+        self.latch_events_into(reported, out);
+    }
+
+    /// Emits `reported ⊕ last_reported` into `out`, rotates `reported`
+    /// into the latch and recycles the old latch as the staging buffer.
+    fn latch_events_into(&mut self, reported: BitVec, out: &mut DetectionRound) {
+        let events = out.events_mut();
+        events.copy_from(&reported);
+        *events ^= &self.last_reported;
+        self.reported_scratch = std::mem::replace(&mut self.last_reported, reported);
         self.rounds_measured += 1;
-        DetectionRound::new(events)
     }
 
     /// Applies a decoder correction to one data qubit: flips the true error
@@ -419,6 +488,47 @@ mod tests {
             // syndrome.
             acc ^= p.perfect_round().events();
             prop_assert_eq!(acc, p.true_syndrome());
+        }
+
+        /// `measure_into` (and the perfect/noisy wrappers) must be
+        /// bit-identical to the allocating paths: same rounds, same RNG
+        /// stream, same latch state — across reuse of ONE round buffer.
+        #[test]
+        fn prop_measure_into_matches_measure(
+            seed in any::<u64>(),
+            d in prop_oneof![Just(3usize), Just(5), Just(7)],
+            p in 0.0f64..0.2,
+            q in 0.0f64..0.2,
+            rounds in 1usize..6,
+        ) {
+            let lattice = Lattice::new(d).unwrap();
+            let noise = PhenomenologicalNoise::new(p, q);
+            let mut alloc_patch = CodePatch::new(lattice.clone());
+            let mut reuse_patch = CodePatch::new(lattice.clone());
+            let mut alloc_rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut reuse_rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut buf = DetectionRound::zeros(lattice.num_ancillas());
+            for r in 0..rounds {
+                let allocated = alloc_patch.noisy_round(&noise, &mut alloc_rng);
+                reuse_patch.noisy_round_into(&noise, &mut reuse_rng, &mut buf);
+                prop_assert_eq!(&buf, &allocated, "noisy round {} diverged", r);
+            }
+            let closing = alloc_patch.perfect_round();
+            reuse_patch.perfect_round_into(&mut buf);
+            prop_assert_eq!(&buf, &closing, "closing round diverged");
+            // The RNG streams advanced identically...
+            prop_assert_eq!(
+                rand::RngCore::next_u64(&mut alloc_rng),
+                rand::RngCore::next_u64(&mut reuse_rng)
+            );
+            // ...and so did the full patch state.
+            prop_assert_eq!(alloc_patch.true_syndrome(), reuse_patch.true_syndrome());
+            prop_assert_eq!(alloc_patch.error_weight(), reuse_patch.error_weight());
+            prop_assert_eq!(alloc_patch.rounds_measured(), reuse_patch.rounds_measured());
+            prop_assert_eq!(
+                alloc_patch.has_logical_error(),
+                reuse_patch.has_logical_error()
+            );
         }
 
         /// The number of detection events in any round is even plus the

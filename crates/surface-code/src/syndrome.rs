@@ -21,9 +21,39 @@ impl DetectionRound {
         Self { events }
     }
 
+    /// An all-quiet round of the given width, for use as a reusable
+    /// `_into`-style target buffer (see
+    /// [`CodePatch::measure_into`](crate::CodePatch::measure_into)).
+    pub fn zeros(width: usize) -> Self {
+        Self {
+            events: BitVec::zeros(width),
+        }
+    }
+
     /// The underlying event bits in dense ancilla-index order.
     pub fn events(&self) -> &BitVec {
         &self.events
+    }
+
+    /// Mutable access to the event bits, for decoders and measurement
+    /// paths that overwrite a reused round in place.
+    pub fn events_mut(&mut self) -> &mut BitVec {
+        &mut self.events
+    }
+
+    /// Overwrites this round with the events of `other` without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two rounds have different widths.
+    pub fn copy_from(&mut self, other: &DetectionRound) {
+        self.events.copy_from(&other.events);
+    }
+
+    /// Clears every event, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
     }
 
     /// Whether the ancilla with dense index `idx` fired this round.
@@ -93,6 +123,21 @@ mod tests {
         assert_eq!(round.fired_indices(), vec![2, 7]);
         assert_eq!(round.events(), &bits);
         assert_eq!(round.into_inner(), bits);
+    }
+
+    #[test]
+    fn copy_from_and_clear_reuse_the_buffer() {
+        let mut bits = BitVec::zeros(9);
+        bits.set(4, true);
+        let src = DetectionRound::new(bits);
+        let mut dst = DetectionRound::zeros(9);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.clear();
+        assert!(dst.is_quiet());
+        assert_eq!(dst.events().len(), 9);
+        dst.events_mut().set(1, true);
+        assert!(dst.fired(1));
     }
 
     #[test]

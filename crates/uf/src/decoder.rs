@@ -123,8 +123,8 @@ impl UnionFindDecoder {
                 if support[i] >= 2 {
                     continue;
                 }
-                let inc = u8::from(sets.is_active(e.u as usize))
-                    + u8::from(sets.is_active(e.v as usize));
+                let inc =
+                    u8::from(sets.is_active(e.u as usize)) + u8::from(sets.is_active(e.v as usize));
                 if inc == 0 {
                     continue;
                 }

@@ -168,10 +168,7 @@ mod tests {
         let boundary = 2 * lat.rows() * 3;
         assert_eq!(g.num_nodes(), na * 3 + boundary);
         // Edges: data qubits per round + temporal links.
-        assert_eq!(
-            g.edges().len(),
-            lat.num_data_qubits() * 3 + na * 2
-        );
+        assert_eq!(g.edges().len(), lat.num_data_qubits() * 3 + na * 2);
         assert_eq!(g.rounds(), 3);
     }
 

@@ -8,9 +8,7 @@
 //! cargo run --release --example cryostat_planner
 //! ```
 
-use qecool_repro::sfq::budget::{
-    qecool_units_per_logical_qubit, DecoderBudget, POWER_BUDGET_4K_W,
-};
+use qecool_repro::sfq::budget::{qecool_units_per_logical_qubit, DecoderBudget, POWER_BUDGET_4K_W};
 use qecool_repro::sfq::timing::{max_clock_ghz, unit_critical_path_ps};
 use qecool_repro::sfq::UnitDesign;
 

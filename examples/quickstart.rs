@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.matches.len()
     );
     for m in &report.matches {
-        println!("  sink {} at layer {} resolved as {:?}", m.sink, m.layer, m.kind);
+        println!(
+            "  sink {} at layer {} resolved as {:?}",
+            m.sink, m.layer, m.kind
+        );
     }
 
     // Apply the corrections and verify the patch is clean again.

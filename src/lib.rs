@@ -23,3 +23,12 @@ pub use qecool_sfq as sfq;
 pub use qecool_sim as sim;
 pub use qecool_surface_code as surface_code;
 pub use qecool_uf as uf;
+
+// The long-lived decoding service is the workspace's primary serving
+// surface; surface it (and its budget type) at the crate root so
+// downstream users don't need to know which member crate owns what.
+pub use qecool_sfq::budget::CycleBudget;
+pub use qecool_sim::service::{
+    DecodeService, LatencyStats, ServiceBackend, ServiceConfig, ServiceError, SessionId,
+    SessionReport,
+};

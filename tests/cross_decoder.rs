@@ -14,7 +14,8 @@ fn decode_both(patch: &CodePatch, history: &SyndromeHistory) -> (CodePatch, Code
     let lattice = patch.lattice().clone();
 
     let mut qecool_patch = patch.clone();
-    let mut decoder = QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(history.num_rounds()));
+    let mut decoder =
+        QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(history.num_rounds()));
     for round in history {
         decoder.push_round(round).expect("capacity");
     }
@@ -22,7 +23,9 @@ fn decode_both(patch: &CodePatch, history: &SyndromeHistory) -> (CodePatch, Code
     qecool_patch.apply_corrections(report.corrections.iter().copied());
 
     let mut mwpm_patch = patch.clone();
-    let outcome = MwpmDecoder::new(lattice).decode(history).expect("matchable");
+    let outcome = MwpmDecoder::new(lattice)
+        .decode(history)
+        .expect("matchable");
     outcome.apply(&mut mwpm_patch);
 
     (qecool_patch, mwpm_patch)
@@ -111,7 +114,10 @@ fn both_decoders_fix_adjacent_pairs() {
             let mut history = SyndromeHistory::new(lattice.clone());
             history.push(patch.perfect_round());
             let (qp, mp) = decode_both(&patch, &history);
-            assert!(qp.syndrome_is_trivial() && mp.syndrome_is_trivial(), "{q},{r}");
+            assert!(
+                qp.syndrome_is_trivial() && mp.syndrome_is_trivial(),
+                "{q},{r}"
+            );
             // Note: weight-2 chains can legitimately decode to a logical
             // complement only at d <= 2*2; at d = 5 a weight-2 error is
             // always recoverable by a minimum-weight decoder.

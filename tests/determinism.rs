@@ -4,7 +4,8 @@
 use qecool_repro::sim::{
     run_monte_carlo, run_trial, DecodeEngine, DecoderKind, EngineConfig, McResult, TrialConfig,
 };
-use qecool_repro::surface_code::{CodePatch, Lattice, PhenomenologicalNoise};
+use qecool_repro::surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
+use qecool_repro::{CycleBudget, DecodeService, ServiceBackend, ServiceConfig, SessionId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -13,7 +14,9 @@ fn trial_outcomes_are_bitwise_reproducible() {
     for decoder in [
         DecoderKind::BatchQecool,
         DecoderKind::Mwpm,
-        DecoderKind::OnlineQecool { budget_cycles: 1000 },
+        DecoderKind::OnlineQecool {
+            budget_cycles: 1000,
+        },
     ] {
         let cfg = TrialConfig::standard(7, 0.02, decoder);
         for seed in [0u64, 1, 99, u64::MAX] {
@@ -90,6 +93,54 @@ fn engine_aggregates_identical_across_worker_counts() {
         })
         .run(&cfg, 160, 2021);
         assert_identical(&rechunked, &reference, "shard_shots = 13");
+    }
+}
+
+/// The decoding service's per-session corrections are a pure function of
+/// the session's round stream — pump worker count must never leak in.
+#[test]
+fn service_sessions_identical_across_worker_counts() {
+    let sessions = 6usize;
+    let rounds = 5usize;
+    let lattice = Lattice::new(5).unwrap();
+    let noise = PhenomenologicalNoise::symmetric(0.04);
+
+    let run = |threads: usize| -> Vec<Vec<Edge>> {
+        let config = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+            .with_threads(threads);
+        let mut service = DecodeService::new(config).unwrap();
+        let ids: Vec<SessionId> = (0..sessions).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..sessions)
+            .map(|_| CodePatch::new(lattice.clone()))
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..sessions)
+            .map(|s| ChaCha8Rng::seed_from_u64(4242 + s as u64))
+            .collect();
+        let mut collected: Vec<Vec<Edge>> = vec![Vec::new(); sessions];
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        for _ in 0..rounds {
+            for s in 0..sessions {
+                patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
+                service.push_round(ids[s], &round).unwrap();
+            }
+            service.pump();
+            for s in 0..sessions {
+                let fresh: Vec<Edge> = service.poll_corrections(ids[s]).unwrap().to_vec();
+                patches[s].apply_corrections(fresh.iter().copied());
+                collected[s].extend(fresh);
+            }
+        }
+        for s in 0..sessions {
+            patches[s].perfect_round_into(&mut round);
+            service.push_round(ids[s], &round).unwrap();
+            collected[s].extend(service.close_session(ids[s]).unwrap().corrections);
+        }
+        collected
+    };
+
+    let reference = run(1);
+    for threads in [2usize, 8] {
+        assert_eq!(run(threads), reference, "{threads} pump workers");
     }
 }
 

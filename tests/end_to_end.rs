@@ -11,7 +11,9 @@ fn qec_is_below_break_even_at_low_p() {
     for decoder in [
         DecoderKind::BatchQecool,
         DecoderKind::Mwpm,
-        DecoderKind::OnlineQecool { budget_cycles: 2000 },
+        DecoderKind::OnlineQecool {
+            budget_cycles: 2000,
+        },
     ] {
         let p = 0.002;
         let cfg = TrialConfig::standard(7, p, decoder);
@@ -30,8 +32,16 @@ fn qec_is_below_break_even_at_low_p() {
 #[test]
 fn distance_scaling_below_threshold() {
     let p = 0.003;
-    let small = run_monte_carlo(&TrialConfig::standard(3, p, DecoderKind::BatchQecool), 1500, 5);
-    let large = run_monte_carlo(&TrialConfig::standard(9, p, DecoderKind::BatchQecool), 1500, 5);
+    let small = run_monte_carlo(
+        &TrialConfig::standard(3, p, DecoderKind::BatchQecool),
+        1500,
+        5,
+    );
+    let large = run_monte_carlo(
+        &TrialConfig::standard(9, p, DecoderKind::BatchQecool),
+        1500,
+        5,
+    );
     let (lo_small, _) = small.logical_error_rate().wilson_interval();
     let (_, hi_large) = large.logical_error_rate().wilson_interval();
     assert!(
@@ -47,7 +57,11 @@ fn distance_scaling_below_threshold() {
 #[test]
 fn mwpm_beats_qecool_near_threshold() {
     let p = 0.02;
-    let q = run_monte_carlo(&TrialConfig::standard(9, p, DecoderKind::BatchQecool), 800, 3);
+    let q = run_monte_carlo(
+        &TrialConfig::standard(9, p, DecoderKind::BatchQecool),
+        800,
+        3,
+    );
     let m = run_monte_carlo(&TrialConfig::standard(9, p, DecoderKind::Mwpm), 800, 3);
     assert!(
         m.failures < q.failures,
@@ -78,9 +92,19 @@ fn all_decoders_fail_above_threshold() {
 #[test]
 fn online_at_2ghz_close_to_batch() {
     let p = 0.005;
-    let batch = run_monte_carlo(&TrialConfig::standard(7, p, DecoderKind::BatchQecool), 1200, 23);
+    let batch = run_monte_carlo(
+        &TrialConfig::standard(7, p, DecoderKind::BatchQecool),
+        1200,
+        23,
+    );
     let online = run_monte_carlo(
-        &TrialConfig::standard(7, p, DecoderKind::OnlineQecool { budget_cycles: 2000 }),
+        &TrialConfig::standard(
+            7,
+            p,
+            DecoderKind::OnlineQecool {
+                budget_cycles: 2000,
+            },
+        ),
         1200,
         23,
     );
@@ -102,7 +126,13 @@ fn lower_frequency_never_helps() {
         .iter()
         .map(|&budget| {
             run_monte_carlo(
-                &TrialConfig::standard(d, p, DecoderKind::OnlineQecool { budget_cycles: budget }),
+                &TrialConfig::standard(
+                    d,
+                    p,
+                    DecoderKind::OnlineQecool {
+                        budget_cycles: budget,
+                    },
+                ),
                 300,
                 31,
             )

@@ -46,7 +46,13 @@ fn two_ghz_is_within_timing_closure() {
 /// — the paper's feasibility argument (§V-A).
 #[test]
 fn average_layer_latency_fits_measurement_interval() {
-    let cfg = TrialConfig::standard(9, 0.001, DecoderKind::OnlineQecool { budget_cycles: 2000 });
+    let cfg = TrialConfig::standard(
+        9,
+        0.001,
+        DecoderKind::OnlineQecool {
+            budget_cycles: 2000,
+        },
+    );
     let mc = run_monte_carlo(&cfg, 200, 77);
     let avg_cycles = mc.layer_cycles.mean();
     let cycle_s = 1.0 / 2.0e9;

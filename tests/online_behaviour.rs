@@ -43,10 +43,11 @@ fn sliced_budget_equals_unbounded_run() {
     let run_with = |slice: Option<u64>| {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let mut patch = CodePatch::new(lattice.clone());
-        let mut decoder =
-            QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(8));
+        let mut decoder = QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(8));
         for _ in 0..7 {
-            decoder.push_round(&patch.noisy_round(&noise, &mut rng)).unwrap();
+            decoder
+                .push_round(&patch.noisy_round(&noise, &mut rng))
+                .unwrap();
         }
         decoder.push_round(&patch.perfect_round()).unwrap();
         let mut corrections = Vec::new();
@@ -84,7 +85,9 @@ fn drain_leaves_reusable_decoder() {
     for window in 0..3 {
         for _ in 0..5 {
             let round = patch.noisy_round(&noise, &mut rng);
-            decoder.push_round(&round).unwrap_or_else(|e| panic!("window {window}: {e}"));
+            decoder
+                .push_round(&round)
+                .unwrap_or_else(|e| panic!("window {window}: {e}"));
             let report = decoder.run(Some(2000));
             patch.apply_corrections(report.corrections.iter().copied());
         }

@@ -1,0 +1,157 @@
+//! Service ⇔ offline-engine equivalence: a [`DecodeService`] session fed
+//! the same seeded noise stream as a Monte-Carlo trial must produce
+//! byte-identical corrections — whatever the worker-thread count — and
+//! reach the same logical outcome.
+
+use qecool_repro::decoder::{QecoolConfig, QecoolDecoder};
+use qecool_repro::sim::{run_trial, DecoderKind, TrialConfig};
+use qecool_repro::surface_code::{
+    CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise, SyndromeHistory,
+};
+use qecool_repro::{CycleBudget, DecodeService, ServiceBackend, ServiceConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const D: usize = 5;
+const P: f64 = 0.03;
+const ROUNDS: usize = 5;
+/// 2 GHz against the 1 µs interval — the paper's headline budget.
+const BUDGET_CYCLES: u64 = 2000;
+
+/// The offline reference: exactly what `run_online_qecool` does inside a
+/// Monte-Carlo trial, with the correction stream captured.
+fn offline_qecool_corrections(seed: u64) -> (Vec<Edge>, bool) {
+    let lattice = Lattice::new(D).unwrap();
+    let mut patch = CodePatch::new(lattice.clone());
+    let noise = PhenomenologicalNoise::symmetric(P);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut decoder = QecoolDecoder::new(lattice, QecoolConfig::online());
+    let mut all = Vec::new();
+    for _ in 0..ROUNDS {
+        let round = patch.noisy_round(&noise, &mut rng);
+        decoder.push_round(&round).expect("no overflow at this p/d");
+        let report = decoder.run(Some(BUDGET_CYCLES));
+        patch.apply_corrections(report.corrections.iter().copied());
+        all.extend(report.corrections);
+    }
+    let closing = patch.perfect_round();
+    decoder
+        .push_round(&closing)
+        .expect("no overflow at closing");
+    let report = decoder.drain();
+    patch.apply_corrections(report.corrections.iter().copied());
+    all.extend(report.corrections);
+    assert!(patch.syndrome_is_trivial());
+    (all, patch.has_logical_error())
+}
+
+/// The same stream served through a `DecodeService` session.
+fn service_qecool_corrections(seed: u64, threads: usize) -> (Vec<Edge>, bool) {
+    let config = ServiceConfig::new(D, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+        .with_threads(threads);
+    assert_eq!(config.budget.cycles_per_round(), BUDGET_CYCLES);
+    let mut service = DecodeService::new(config).unwrap();
+    let id = service.open_session();
+
+    let lattice = Lattice::new(D).unwrap();
+    let mut patch = CodePatch::new(lattice.clone());
+    let noise = PhenomenologicalNoise::symmetric(P);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut round = DetectionRound::zeros(lattice.num_ancillas());
+    let mut all = Vec::new();
+    for _ in 0..ROUNDS {
+        patch.noisy_round_into(&noise, &mut rng, &mut round);
+        service.push_round(id, &round).unwrap();
+        let fresh: Vec<Edge> = service.poll_corrections(id).unwrap().to_vec();
+        patch.apply_corrections(fresh.iter().copied());
+        all.extend(fresh);
+    }
+    patch.perfect_round_into(&mut round);
+    service.push_round(id, &round).unwrap();
+    let report = service.close_session(id).unwrap();
+    patch.apply_corrections(report.corrections.iter().copied());
+    all.extend(report.corrections);
+    assert!(!report.overflowed);
+    assert!(patch.syndrome_is_trivial());
+    (all, patch.has_logical_error())
+}
+
+#[test]
+fn qecool_sessions_match_offline_engine_bit_for_bit() {
+    for seed in 0..12u64 {
+        let (offline, offline_logical) = offline_qecool_corrections(seed);
+        for threads in [1usize, 8] {
+            let (served, served_logical) = service_qecool_corrections(seed, threads);
+            assert_eq!(
+                served, offline,
+                "corrections diverged at seed {seed}, {threads} threads"
+            );
+            assert_eq!(served_logical, offline_logical, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn qecool_sessions_reach_the_trial_outcome() {
+    // The trial harness is the other face of the same offline loop; the
+    // service must land on the same logical verdict per seed.
+    let cfg = TrialConfig::standard(
+        D,
+        P,
+        DecoderKind::OnlineQecool {
+            budget_cycles: BUDGET_CYCLES,
+        },
+    );
+    for seed in 0..12u64 {
+        let trial = run_trial(&cfg, seed);
+        assert!(!trial.overflow);
+        let (_, served_logical) = service_qecool_corrections(seed, 1);
+        assert_eq!(served_logical, trial.logical_error, "seed {seed}");
+    }
+}
+
+#[test]
+fn windowed_sessions_match_offline_window_decoders() {
+    for backend in [ServiceBackend::UnionFind, ServiceBackend::Mwpm] {
+        for seed in 0..6u64 {
+            // Shared noise realization.
+            let lattice = Lattice::new(D).unwrap();
+            let noise = PhenomenologicalNoise::symmetric(P);
+            let mut patch = CodePatch::new(lattice.clone());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut rounds: Vec<DetectionRound> = (0..ROUNDS)
+                .map(|_| patch.noisy_round(&noise, &mut rng))
+                .collect();
+            rounds.push(patch.perfect_round());
+
+            // Offline window decode.
+            let mut history = SyndromeHistory::new(lattice.clone());
+            for r in &rounds {
+                history.push(r.clone());
+            }
+            let offline: Vec<Edge> = match backend {
+                ServiceBackend::UnionFind => {
+                    qecool_repro::uf::UnionFindDecoder::new(lattice.clone())
+                        .decode(&history)
+                        .corrections
+                }
+                ServiceBackend::Mwpm => {
+                    qecool_repro::mwpm::MwpmDecoder::new(lattice.clone())
+                        .decode(&history)
+                        .unwrap()
+                        .corrections
+                }
+                ServiceBackend::Qecool => unreachable!(),
+            };
+
+            // Service window decode.
+            let config =
+                ServiceConfig::new(D, backend, CycleBudget::at_clock(2.0e9)).with_threads(1);
+            let mut service = DecodeService::new(config).unwrap();
+            let id = service.open_session();
+            service.feed(id, rounds.iter()).unwrap();
+            let report = service.close_session(id).unwrap();
+            assert_eq!(report.corrections, offline, "{backend:?} seed {seed}");
+        }
+    }
+}

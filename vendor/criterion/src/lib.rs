@@ -4,7 +4,7 @@
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Measurement is deliberately simple — a calibration pass sizes the
-//! batch to roughly [`TARGET_RUN_TIME`], then the mean time per iteration
+//! batch to roughly `TARGET_RUN_TIME`, then the mean time per iteration
 //! is reported on stdout. There are no statistics, plots or baselines;
 //! the point is that `cargo bench` runs and prints comparable numbers
 //! without registry access.
@@ -150,8 +150,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     };
     f(&mut bencher);
     let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
-    let iterations = (TARGET_RUN_TIME.as_nanos() / per_iter.as_nanos())
-        .clamp(1, 1_000_000) as u64;
+    let iterations = (TARGET_RUN_TIME.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
     let mut bencher = Bencher {
         iterations,
@@ -159,7 +158,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     };
     f(&mut bencher);
     let mean = bencher.elapsed.as_nanos() as f64 / iterations as f64;
-    println!("{name:<40} {:>12} iters   {:>14} /iter", iterations, format_ns(mean));
+    println!(
+        "{name:<40} {:>12} iters   {:>14} /iter",
+        iterations,
+        format_ns(mean)
+    );
 }
 
 fn format_ns(ns: f64) -> String {

@@ -4,7 +4,7 @@ use rand::{Rng, RngCore};
 
 use crate::Strategy;
 
-/// Admissible element counts for [`vec`]: built from a `usize` (exact
+/// Admissible element counts for [`vec()`]: built from a `usize` (exact
 /// length) or a `Range<usize>` (half-open).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -41,7 +41,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<T>` with element strategy `S` (see [`vec`]).
+/// Strategy for `Vec<T>` with element strategy `S` (see [`vec()`]).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
