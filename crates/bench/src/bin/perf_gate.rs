@@ -1,0 +1,153 @@
+//! CI perf-regression gate: merges per-bench perf records into one
+//! `BENCH_pr.json` artifact and fails when any benchmark's throughput
+//! dropped more than the allowed fraction below the checked-in
+//! `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run --release -p qecool-bench --bin perf_gate -- \
+//!     --baseline BENCH_baseline.json \
+//!     --candidate BENCH_service.json [--candidate BENCH_table4.json ...] \
+//!     [--out BENCH_pr.json] [--max-drop-pct 20]
+//! ```
+//!
+//! Records are joined by `name`. A candidate with no baseline entry is
+//! reported and passes (new benchmarks should not need a lockstep
+//! baseline update); a **baseline entry with no candidate fails** — a
+//! benchmark vanishing from the run is itself a regression. A candidate
+//! above baseline is fine — the baseline is a floor, not a target. Exit
+//! status: 0 when every gated benchmark holds, 1 on any regression
+//! beyond the threshold.
+
+use qecool_bench::{
+    parse_or_die,
+    perf::{parse_records, write_records, BenchRecord},
+    require_value, usage_error, TextTable,
+};
+
+struct GateOptions {
+    baseline: String,
+    candidates: Vec<String>,
+    out: Option<String>,
+    max_drop_pct: f64,
+}
+
+impl GateOptions {
+    fn parse() -> Self {
+        let mut opts = Self {
+            baseline: String::new(),
+            candidates: Vec::new(),
+            out: None,
+            max_drop_pct: 20.0,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--baseline" => opts.baseline = require_value(&mut args, "--baseline"),
+                "--candidate" => opts
+                    .candidates
+                    .push(require_value(&mut args, "--candidate")),
+                "--out" => opts.out = Some(require_value(&mut args, "--out")),
+                "--max-drop-pct" => {
+                    let v = require_value(&mut args, "--max-drop-pct");
+                    opts.max_drop_pct = parse_or_die(&v, "--max-drop-pct", "a percentage");
+                    if !(0.0..100.0).contains(&opts.max_drop_pct) {
+                        usage_error("--max-drop-pct must be in [0, 100)");
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: --baseline FILE --candidate FILE [--candidate FILE ...] \
+                         [--out FILE] [--max-drop-pct P]"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage_error(&format!("unknown argument: {other}")),
+            }
+        }
+        if opts.baseline.is_empty() {
+            usage_error("--baseline is required");
+        }
+        if opts.candidates.is_empty() {
+            usage_error("at least one --candidate is required");
+        }
+        opts
+    }
+}
+
+fn load(path: &str) -> Vec<BenchRecord> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_error(&format!("cannot read {path}: {e}")));
+    parse_records(&text).unwrap_or_else(|e| usage_error(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let opts = GateOptions::parse();
+    let baseline = load(&opts.baseline);
+    let mut candidates: Vec<BenchRecord> = Vec::new();
+    for path in &opts.candidates {
+        candidates.extend(load(path));
+    }
+    if let Some(out) = &opts.out {
+        write_records(out, &candidates);
+        eprintln!("wrote {out}");
+    }
+
+    let mut table = TextTable::new(["benchmark", "baseline", "candidate", "ratio", "verdict"]);
+    let mut failures = 0usize;
+    let floor = 1.0 - opts.max_drop_pct / 100.0;
+    for record in &candidates {
+        let Some(base) = baseline.iter().find(|b| b.name == record.name) else {
+            table.row([
+                record.name.as_str(),
+                "-",
+                &format!("{:.0}", record.throughput),
+                "-",
+                "no baseline (pass)",
+            ]);
+            continue;
+        };
+        let ratio = record.throughput / base.throughput.max(f64::MIN_POSITIVE);
+        let verdict = if ratio >= floor {
+            "ok"
+        } else {
+            failures += 1;
+            "REGRESSION"
+        };
+        table.row([
+            record.name.as_str(),
+            &format!("{:.0}", base.throughput),
+            &format!("{:.0}", record.throughput),
+            &format!("{ratio:.3}"),
+            verdict,
+        ]);
+    }
+    // Coverage: a baseline benchmark with no candidate record means the
+    // bench silently vanished (renamed record, dropped --candidate) —
+    // that must trip the gate, not slide past it.
+    for base in &baseline {
+        if !candidates.iter().any(|c| c.name == base.name) {
+            failures += 1;
+            table.row([
+                base.name.as_str(),
+                &format!("{:.0}", base.throughput),
+                "-",
+                "-",
+                "MISSING CANDIDATE",
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if failures > 0 {
+        eprintln!(
+            "perf gate FAILED: {failures} benchmark(s) dropped more than \
+             {:.0}% below baseline or went missing",
+            opts.max_drop_pct
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf gate passed: all {} benchmark(s) within {:.0}% of baseline",
+        candidates.len(),
+        opts.max_drop_pct
+    );
+}

@@ -13,13 +13,17 @@
 //! ```text
 //! cargo run --release -p qecool-bench --bin service_bench -- \
 //!     [--sessions N] [--rounds N] [--threads N] [--d D] [--p P] \
-//!     [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke]
+//!     [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
+//!     [--json FILE]
 //! ```
 
 use std::time::Instant;
 
-use qecool_bench::{parse_or_die, parse_threads, require_value, usage_error, TextTable};
-use qecool_sfq::budget::CycleBudget;
+use qecool_bench::{
+    parse_ghz, parse_or_die, parse_threads, perf::write_records, perf::BenchRecord, require_value,
+    usage_error, TextTable,
+};
+use qecool_sfq::budget::{CycleBudget, CycleHistogram};
 use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId};
 use qecool_surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
 use rand::SeedableRng;
@@ -34,6 +38,7 @@ struct BenchOptions {
     ghz: f64,
     backend: ServiceBackend,
     seed: u64,
+    json: Option<String>,
 }
 
 impl BenchOptions {
@@ -47,6 +52,7 @@ impl BenchOptions {
             ghz: 2.0,
             backend: ServiceBackend::Qecool,
             seed: 2021,
+            json: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -79,10 +85,7 @@ impl BenchOptions {
                 }
                 "--ghz" => {
                     let v = require_value(&mut args, "--ghz");
-                    opts.ghz = parse_or_die(&v, "--ghz", "a clock frequency in GHz");
-                    if opts.ghz <= 0.0 {
-                        usage_error("--ghz must be positive");
-                    }
+                    opts.ghz = parse_ghz(&v);
                 }
                 "--backend" => {
                     let v = require_value(&mut args, "--backend");
@@ -103,10 +106,11 @@ impl BenchOptions {
                     opts.sessions = 8;
                     opts.rounds = 40;
                 }
+                "--json" => opts.json = Some(require_value(&mut args, "--json")),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sessions N] [--rounds N] [--threads N] [--d D] [--p P] \
-                         [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke]"
+                         [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] [--json FILE]"
                     );
                     std::process::exit(0);
                 }
@@ -175,16 +179,19 @@ fn main() {
     let mut mean_util_acc = 0.0f64;
     let mut overruns = 0u64;
     let mut max_cycles = 0u64;
+    let mut hist = CycleHistogram::new();
     for &id in &ids {
         let lat = service.latency(id).expect("session open");
         worst_util = worst_util.max(lat.max_cycles as f64 / lat.budget_cycles.max(1) as f64);
         mean_util_acc += lat.mean_utilisation();
         overruns += lat.overruns;
         max_cycles = max_cycles.max(lat.max_cycles);
+        hist.merge(&lat.histogram);
         if service.is_overflowed(id).unwrap_or(false) {
             overflowed += 1;
         }
     }
+    let p99_cycles = hist.percentile(0.99);
 
     let served_rounds = (opts.sessions * opts.rounds) as f64;
     let mut table = TextTable::new(["metric", "value"]);
@@ -201,6 +208,14 @@ fn main() {
     ]);
     table.row(["corrections emitted", &total_corrections.to_string()]);
     table.row(["max decode cycles", &max_cycles.to_string()]);
+    table.row(["p99 decode cycles", &p99_cycles.to_string()]);
+    table.row([
+        "p99 budget utilisation",
+        &format!(
+            "{:.3}",
+            p99_cycles as f64 / service.budget_cycles().max(1) as f64
+        ),
+    ]);
     table.row(["worst budget utilisation", &format!("{worst_util:.3}")]);
     table.row([
         "mean budget utilisation",
@@ -209,6 +224,22 @@ fn main() {
     table.row(["budget overruns", &overruns.to_string()]);
     table.row(["overflowed sessions", &overflowed.to_string()]);
     println!("{}", table.render());
+
+    if let Some(path) = &opts.json {
+        let record = BenchRecord::new(
+            "service_bench",
+            served_rounds / elapsed.as_secs_f64().max(1e-12),
+        )
+        .with("p99_cycles", p99_cycles as f64)
+        .with("budget_cycles", service.budget_cycles() as f64)
+        .with("max_cycles", max_cycles as f64)
+        .with("overruns", overruns as f64)
+        .with("sessions", opts.sessions as f64)
+        .with("rounds_per_session", opts.rounds as f64)
+        .with("pump_workers", service.pool_workers() as f64);
+        write_records(path, std::slice::from_ref(&record));
+        eprintln!("wrote {path}");
+    }
 
     for id in ids {
         let _ = service.close_session(id);

@@ -7,10 +7,11 @@
 //! well, since this repository implements that baseline from scratch.
 //!
 //! ```text
-//! cargo run --release -p qecool-bench --bin table4 [-- --shots N --fast --out table4.csv]
+//! cargo run --release -p qecool-bench --bin table4 \
+//!     [-- --shots N --fast --out table4.csv --json BENCH_table4.json]
 //! ```
 
-use qecool_bench::{Options, TextTable};
+use qecool_bench::{perf::BenchRecord, Options, TextTable};
 use qecool_sfq::compare::{table4_literature_rows, table4_paper_qecool_row};
 use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecodeEngine, DecoderKind, NoiseKind};
 
@@ -30,6 +31,7 @@ fn measured_threshold(
 fn main() {
     let opts = Options::parse(800);
     let engine = opts.engine();
+    let start = std::time::Instant::now();
 
     eprintln!("measuring union-find 3-D threshold...");
     let uf_3d = measured_threshold(
@@ -112,4 +114,14 @@ fn main() {
     ]);
     println!("{}", table.render());
     opts.write_csv(&table.to_csv());
+
+    // Perf record for the CI regression gate: Monte-Carlo decode
+    // throughput across the four threshold campaigns above.
+    let elapsed = start.elapsed().as_secs_f64();
+    let shots = engine.tally().shots();
+    opts.write_bench_json(
+        &BenchRecord::new("table4", shots as f64 / elapsed.max(1e-12))
+            .with("shots", shots as f64)
+            .with("wall_seconds", elapsed),
+    );
 }

@@ -33,6 +33,9 @@ pub struct Options {
     pub threads: usize,
     /// Optional CSV output path.
     pub out: Option<String>,
+    /// Optional machine-readable perf-record output path (`--json`),
+    /// consumed by the `perf_gate` regression comparator.
+    pub json: Option<String>,
 }
 
 impl Options {
@@ -47,6 +50,7 @@ impl Options {
             seed: 2021,
             threads: 0,
             out: None,
+            json: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -66,9 +70,11 @@ impl Options {
                     opts.threads = parse_threads(&v);
                 }
                 "--out" => opts.out = Some(require_value(&mut args, "--out")),
+                "--json" => opts.json = Some(require_value(&mut args, "--json")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--shots N] [--seed S] [--fast] [--smoke] [--threads N] [--out FILE]"
+                        "usage: [--shots N] [--seed S] [--fast] [--smoke] [--threads N] \
+                         [--out FILE] [--json FILE]"
                     );
                     std::process::exit(0);
                 }
@@ -89,6 +95,15 @@ impl Options {
             let mut f =
                 std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
             f.write_all(csv.as_bytes()).expect("write CSV");
+            eprintln!("wrote {path}");
+        }
+    }
+
+    /// Writes a perf record to `--json` if given; reports the path on
+    /// stderr.
+    pub fn write_bench_json(&self, record: &perf::BenchRecord) {
+        if let Some(path) = &self.json {
+            perf::write_records(path, std::slice::from_ref(record));
             eprintln!("wrote {path}");
         }
     }
@@ -124,6 +139,21 @@ pub fn parse_threads(value: &str) -> usize {
         usage_error("--threads must be >= 1 (omit the flag to use all cores)");
     }
     threads
+}
+
+/// Parses and validates a `--ghz` clock value: must be a **finite,
+/// strictly positive** number. Zero, negatives, `nan` and `inf` all
+/// exit 2 with a clear message (like the `--threads 0` handling)
+/// instead of reaching [`CycleBudget::new`](qecool_sfq::budget::CycleBudget)'s
+/// panic (`nan` previously slipped through a plain `<= 0.0` check).
+pub fn parse_ghz(value: &str) -> f64 {
+    let ghz: f64 = parse_or_die(value, "--ghz", "a clock frequency in GHz");
+    if !ghz.is_finite() || ghz <= 0.0 {
+        usage_error(&format!(
+            "--ghz must be a finite positive clock frequency in GHz, got '{value}'"
+        ));
+    }
+    ghz
 }
 
 /// A fixed-width text table mirroring the paper's table layout.
@@ -205,6 +235,212 @@ impl TextTable {
 /// The code distances evaluated throughout the paper's figures.
 pub const PAPER_DISTANCES: [usize; 5] = [5, 7, 9, 11, 13];
 
+/// Machine-readable perf records for the CI regression gate.
+///
+/// The vendored `serde` is a no-op stub (no registry access), so this
+/// module hand-rolls the one JSON shape the gate needs: an array of flat
+/// objects with a string `"name"` and numeric metrics. `service_bench`
+/// and `table4` emit records via `--json`; the `perf_gate` binary merges
+/// them into `BENCH_pr.json` and compares throughput against the
+/// checked-in `BENCH_baseline.json`.
+pub mod perf {
+    use super::usage_error;
+
+    /// One benchmark's perf record: a name, the headline throughput
+    /// (whatever unit the bench serves — rounds/s, shots/s), and any
+    /// extra numeric metrics worth archiving in the artifact.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Benchmark name, the join key against the baseline.
+        pub name: String,
+        /// Headline throughput (higher is better); what the gate
+        /// compares.
+        pub throughput: f64,
+        /// Extra `(key, value)` metrics, emitted verbatim.
+        pub extras: Vec<(String, f64)>,
+    }
+
+    impl BenchRecord {
+        /// A record with no extra metrics.
+        pub fn new(name: impl Into<String>, throughput: f64) -> Self {
+            Self {
+                name: name.into(),
+                throughput,
+                extras: Vec::new(),
+            }
+        }
+
+        /// Adds one extra metric (builder-style).
+        #[must_use]
+        pub fn with(mut self, key: impl Into<String>, value: f64) -> Self {
+            self.extras.push((key.into(), value));
+            self
+        }
+
+        fn to_json(&self) -> String {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"throughput\": {}",
+                self.name, self.throughput
+            );
+            for (key, value) in &self.extras {
+                let _ = write!(out, ", \"{key}\": {value}");
+            }
+            out.push('}');
+            out
+        }
+    }
+
+    /// Renders records as a JSON array (the `BENCH_*.json` format).
+    pub fn render_records(records: &[BenchRecord]) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.to_json());
+            if i + 1 < records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Writes records to `path`, exiting with a usage error on I/O
+    /// failure.
+    pub fn write_records(path: &str, records: &[BenchRecord]) {
+        if let Err(e) = std::fs::write(path, render_records(records)) {
+            usage_error(&format!("cannot write {path}: {e}"));
+        }
+    }
+
+    /// Parses a `BENCH_*.json` file body: a single record object or an
+    /// array of them. Restricted JSON — flat objects, string or numeric
+    /// values, no escape sequences — which is exactly what
+    /// [`render_records`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+        let mut p = Parser {
+            rest: text.trim_start(),
+        };
+        let mut records = Vec::new();
+        match p.peek() {
+            Some('[') => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.peek() == Some(']') {
+                        p.expect(']')?;
+                        break;
+                    }
+                    records.push(p.object()?);
+                    p.skip_ws();
+                    if p.peek() == Some(',') {
+                        p.expect(',')?;
+                    }
+                }
+            }
+            Some('{') => records.push(p.object()?),
+            _ => return Err("expected '[' or '{' at top level".into()),
+        }
+        p.skip_ws();
+        if !p.rest.is_empty() {
+            return Err(format!("trailing content: {:.20}...", p.rest));
+        }
+        Ok(records)
+    }
+
+    struct Parser<'a> {
+        rest: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            self.rest = self.rest.trim_start();
+        }
+
+        fn peek(&self) -> Option<char> {
+            self.rest.chars().next()
+        }
+
+        fn expect(&mut self, c: char) -> Result<(), String> {
+            self.skip_ws();
+            if self.rest.starts_with(c) {
+                self.rest = &self.rest[c.len_utf8()..];
+                Ok(())
+            } else {
+                Err(format!("expected '{c}' at: {:.20}", self.rest))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            match self.rest.find('"') {
+                Some(end) => {
+                    let s = &self.rest[..end];
+                    self.rest = &self.rest[end + 1..];
+                    Ok(s.to_owned())
+                }
+                None => Err("unterminated string".into()),
+            }
+        }
+
+        fn number(&mut self) -> Result<f64, String> {
+            self.skip_ws();
+            let end = self
+                .rest
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(self.rest.len());
+            let (token, rest) = self.rest.split_at(end);
+            self.rest = rest;
+            token
+                .parse()
+                .map_err(|_| format!("malformed number '{token}'"))
+        }
+
+        fn object(&mut self) -> Result<BenchRecord, String> {
+            self.expect('{')?;
+            let mut record = BenchRecord::new("", f64::NAN);
+            loop {
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.expect('}')?;
+                    break;
+                }
+                let key = self.string()?;
+                self.expect(':')?;
+                self.skip_ws();
+                if key == "name" {
+                    record.name = self.string()?;
+                } else {
+                    let value = self.number()?;
+                    if key == "throughput" {
+                        record.throughput = value;
+                    } else {
+                        record.extras.push((key, value));
+                    }
+                }
+                self.skip_ws();
+                if self.peek() == Some(',') {
+                    self.expect(',')?;
+                }
+            }
+            if record.name.is_empty() {
+                return Err("record missing \"name\"".into());
+            }
+            if record.throughput.is_nan() {
+                return Err(format!("record '{}' missing \"throughput\"", record.name));
+            }
+            Ok(record)
+        }
+    }
+}
+
 /// Formats a rate with its Wilson 95% interval.
 pub fn fmt_rate(est: qecool_sim::RateEstimate) -> String {
     let (lo, hi) = est.wilson_interval();
@@ -250,5 +486,41 @@ mod tests {
     fn fmt_rate_includes_interval() {
         let s = fmt_rate(qecool_sim::RateEstimate::new(1, 100));
         assert!(s.starts_with("0.0100 ["));
+    }
+
+    #[test]
+    fn parse_ghz_accepts_positive_finite() {
+        assert_eq!(parse_ghz("2"), 2.0);
+        assert_eq!(parse_ghz("0.5"), 0.5);
+    }
+
+    #[test]
+    fn perf_records_roundtrip_through_json() {
+        let records = vec![
+            perf::BenchRecord::new("service_bench", 175234.5)
+                .with("p99_cycles", 15.0)
+                .with("budget_cycles", 2000.0),
+            perf::BenchRecord::new("table4", 812.0),
+        ];
+        let json = perf::render_records(&records);
+        let parsed = perf::parse_records(&json).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn perf_parse_accepts_single_object() {
+        let parsed = perf::parse_records("{\"name\": \"x\", \"throughput\": 1e3}").unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "x");
+        assert_eq!(parsed[0].throughput, 1000.0);
+    }
+
+    #[test]
+    fn perf_parse_rejects_malformed_input() {
+        assert!(perf::parse_records("").is_err());
+        assert!(perf::parse_records("{\"throughput\": 1}").is_err());
+        assert!(perf::parse_records("{\"name\": \"x\"}").is_err());
+        assert!(perf::parse_records("[{\"name\": \"x\", \"throughput\": oops}]").is_err());
+        assert!(perf::parse_records("{\"name\": \"x\", \"throughput\": 1} junk").is_err());
     }
 }

@@ -77,6 +77,103 @@ impl CycleBudget {
     }
 }
 
+/// Number of log₂ buckets a [`CycleHistogram`] tracks — enough for the
+/// full `u64` cycle range.
+pub const CYCLE_HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of per-round decode-cycle costs.
+///
+/// Bucket 0 counts zero-cycle rounds; bucket `b ≥ 1` counts rounds whose
+/// cost `c` satisfies `2^(b−1) ≤ c < 2^b`. The bucketing trades
+/// resolution for a fixed 65-word footprint, which keeps
+/// latency-accounting structs `Copy` and mergeable across sessions
+/// without allocation — percentiles come back as the inclusive upper
+/// bound of the bucket they land in, a conservative (never
+/// under-reporting) estimate that is exact for the budget questions the
+/// serving path asks ("did p99 stay within the round budget?").
+///
+/// # Example
+///
+/// ```
+/// use qecool_sfq::budget::CycleHistogram;
+///
+/// let mut hist = CycleHistogram::new();
+/// for cycles in [3, 5, 9, 1000] {
+///     hist.record(cycles);
+/// }
+/// assert_eq!(hist.total(), 4);
+/// assert!(hist.percentile(0.5) <= 15);
+/// assert!(hist.percentile(0.99) >= 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleHistogram {
+    buckets: [u64; CYCLE_HIST_BUCKETS],
+    total: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; CYCLE_HIST_BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(cycles: u64) -> usize {
+        (64 - cycles.leading_zeros()) as usize
+    }
+
+    /// Records one round's decode cost.
+    pub fn record(&mut self, cycles: u64) {
+        self.buckets[Self::bucket_of(cycles)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of rounds recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Folds another histogram into this one (used to aggregate
+    /// per-session accounting into a service-wide view).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// The inclusive upper cycle bound of the bucket containing the
+    /// `q`-quantile round (`q` in `[0, 1]`), or 0 for an empty
+    /// histogram. `percentile(0.99)` is the p99 round cost, rounded up
+    /// to the next power-of-two boundary.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
 /// Number of QECOOL hardware Units per logical qubit: `2 d (d − 1)`
 /// (both error sectors of a distance-`d` code, §IV-A).
 pub fn qecool_units_per_logical_qubit(d: usize) -> usize {
@@ -185,6 +282,51 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn cycle_budget_rejects_zero_interval() {
         CycleBudget::new(1.0e9, 0.0);
+    }
+
+    #[test]
+    fn cycle_histogram_buckets_and_percentiles() {
+        let mut h = CycleHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        for c in [0u64, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(c);
+        }
+        assert_eq!(h.total(), 8);
+        // Ranks: p0..p12.5 → bucket 0 (cycles 0), p100 → bucket of 100.
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 127);
+        // Median of the 8 samples sits among the small values.
+        assert!(h.percentile(0.5) <= 7);
+        // Percentile is a conservative upper bound: never below the
+        // actual value at that rank.
+        assert!(h.percentile(0.99) >= 100);
+    }
+
+    #[test]
+    fn cycle_histogram_merge_adds_counts() {
+        let mut a = CycleHistogram::new();
+        a.record(5);
+        a.record(9);
+        let mut b = CycleHistogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert!(a.percentile(1.0) >= 1000);
+        let merged_again = {
+            let mut c = CycleHistogram::default();
+            c.merge(&a);
+            c
+        };
+        assert_eq!(merged_again, a);
+    }
+
+    #[test]
+    fn cycle_histogram_extreme_values() {
+        let mut h = CycleHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        h.record(1);
+        assert_eq!(h.percentile(0.25), 1);
     }
 
     #[test]

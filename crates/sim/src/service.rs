@@ -19,6 +19,23 @@
 //! are byte-identical whatever the thread count — the same guarantee the
 //! Monte-Carlo engine makes for aggregates.
 //!
+//! # The persistent pump pool
+//!
+//! Worker threads are spawned lazily — at the first
+//! [`DecodeService::pump`] that has work for more than one of them,
+//! growing (never respawning) if sessions later outnumber the pool, up
+//! to the configured worker cap — and then serve every later pump until
+//! the service is dropped (which wakes and joins them — no thread
+//! outlives its service). Between pumps the workers park on a condvar,
+//! so a high-frequency pump loop pays no spawn cost per iteration.
+//! Within a pump, pending sessions sit on one shared queue that idle
+//! workers pull from — work steals across sessions dynamically, so a
+//! slow session never idles the rest of the pool. Pumps where at most
+//! one session has pending work drain inline on the calling thread
+//! without touching (or creating) the pool. A worker that panics
+//! mid-drain re-raises the panic on the pump caller's thread, like the
+//! scoped-thread implementation it replaced.
+//!
 //! # Steady-state allocation
 //!
 //! The per-round path is allocation-free once a session is warm: pushed
@@ -63,11 +80,14 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use parking_lot::{Condvar, Mutex};
 use qecool::api::{DecodeOutput, Decoder};
 use qecool::{QecoolConfig, QecoolDecoder, RegOverflow, DEFAULT_BOUNDARY_PENALTY};
 use qecool_mwpm::MwpmDecoder;
-use qecool_sfq::budget::CycleBudget;
+use qecool_sfq::budget::{CycleBudget, CycleHistogram};
 use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError, SyndromeHistory};
 use qecool_uf::UnionFindDecoder;
 
@@ -170,6 +190,9 @@ pub struct LatencyStats {
     /// pending — the backlog pressure that eventually overflows the
     /// registers.
     pub overruns: u64,
+    /// Log₂-bucketed distribution of per-round decode costs, for
+    /// tail-latency (p99) reporting against the budget.
+    pub histogram: CycleHistogram,
 }
 
 impl LatencyStats {
@@ -177,9 +200,16 @@ impl LatencyStats {
         self.rounds += 1;
         self.total_cycles += cycles;
         self.max_cycles = self.max_cycles.max(cycles);
+        self.histogram.record(cycles);
         if !idle {
             self.overruns += 1;
         }
+    }
+
+    /// Conservative p99 of the per-round decode cost (the inclusive
+    /// upper bound of the histogram bucket the p99 round lands in).
+    pub fn p99_cycles(&self) -> u64 {
+        self.histogram.percentile(0.99)
     }
 
     /// Mean decode cycles per round (0 when no round was decoded).
@@ -332,6 +362,141 @@ struct Slot {
     session: Option<Session>,
 }
 
+/// One unit of pump work: a session moved out of its slot, drained by
+/// exactly one worker, then moved back. Moving the session (a few
+/// pointer-sized fields) is what lets long-lived workers process it
+/// without borrowing from the service.
+struct PumpJob {
+    slot: u32,
+    session: Session,
+    budget: u64,
+}
+
+/// State shared between [`DecodeService::pump`] and the pool workers.
+#[derive(Default)]
+struct PoolQueue {
+    /// Sessions awaiting a worker this pump. A single shared deque is
+    /// the work-stealing structure: workers pull the next pending
+    /// session the moment they go idle, so load balances dynamically
+    /// across sessions instead of by static chunking.
+    pending: VecDeque<PumpJob>,
+    /// Sessions drained this pump, awaiting re-installation.
+    finished: Vec<PumpJob>,
+    /// Jobs retired this pump, successfully or not: `finished.len()`
+    /// plus any panicked drains. What `pump` waits on, so a worker
+    /// panic cannot strand it.
+    completed: usize,
+    /// First panic payload caught this pump; re-raised on the `pump`
+    /// caller's thread, matching the old scoped-thread behaviour.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once, on service drop; workers exit when they see it with an
+    /// empty queue.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled by `pump` when jobs are enqueued and on shutdown.
+    work_ready: Condvar,
+    /// Signalled by workers as each drained session retires.
+    batch_done: Condvar,
+    /// Worker threads that have exited their loop (observability for
+    /// shutdown tests; `pump` never reads it).
+    exited: AtomicUsize,
+}
+
+/// The persistent pump worker pool: threads spawn once — at the first
+/// pump that has parallel work — and then serve every subsequent pump
+/// until the service drops, amortising spawn cost across the
+/// high-frequency pump loops the serving path runs.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue::default()),
+            work_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+            exited: AtomicUsize::new(0),
+        });
+        let mut pool = Self {
+            shared,
+            handles: Vec::new(),
+        };
+        pool.grow_to(workers);
+        pool
+    }
+
+    /// Spawns additional workers until the pool has `workers` threads.
+    /// Lets the pool track sessions opened after its creation instead of
+    /// freezing at the first pump's parallelism.
+    fn grow_to(&mut self, workers: usize) {
+        for i in self.handles.len()..workers {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("qecool-pump-{i}"))
+                .spawn(move || {
+                    Self::worker_loop(&shared);
+                    shared.exited.fetch_add(1, Ordering::Release);
+                })
+                .expect("spawn pump worker");
+            self.handles.push(handle);
+        }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut queue = shared.queue.lock();
+        loop {
+            if let Some(mut job) = queue.pending.pop_front() {
+                drop(queue);
+                // Catch unwinds so a panicking decoder cannot strand
+                // `pump` waiting for a job that will never finish; the
+                // payload is re-raised on the pump caller's thread.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    job.session.drain_inbox(job.budget);
+                    job
+                }));
+                queue = shared.queue.lock();
+                match outcome {
+                    Ok(job) => queue.finished.push(job),
+                    Err(payload) => {
+                        // The job (and its session) died with the panic;
+                        // keep the first payload for re-raise.
+                        queue.panic.get_or_insert(payload);
+                    }
+                }
+                queue.completed += 1;
+                // `pump` is the only possible waiter.
+                shared.batch_done.notify_one();
+                continue;
+            }
+            if queue.shutdown {
+                return;
+            }
+            queue = shared.work_ready.wait(queue);
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Graceful shutdown: wake every worker with the shutdown flag set
+    /// and join them all, so no thread outlives the service.
+    fn drop(&mut self) {
+        self.shared.queue.lock().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The long-lived decoding service. See the module docs for the session
 /// lifecycle and guarantees.
 pub struct DecodeService {
@@ -340,6 +505,12 @@ pub struct DecodeService {
     budget_cycles: u64,
     slots: Vec<Slot>,
     free: Vec<u32>,
+    /// Persistent pump worker pool, spawned lazily at the first pump
+    /// with parallel work and reused until the service drops.
+    pool: Option<WorkerPool>,
+    /// Total worker threads ever spawned — the spawn-counting hook the
+    /// pool-reuse tests (and curious operators) read.
+    workers_spawned: usize,
 }
 
 impl fmt::Debug for DecodeService {
@@ -366,6 +537,8 @@ impl DecodeService {
             budget_cycles,
             slots: Vec::new(),
             free: Vec::new(),
+            pool: None,
+            workers_spawned: 0,
         })
     }
 
@@ -524,11 +697,18 @@ impl DecodeService {
     /// pool. Each session is advanced by exactly one worker, in arrival
     /// order, so results are independent of the thread count.
     ///
-    /// Workers are scoped threads spawned per pump (and only when more
-    /// than one session actually has pending work); for very small
-    /// session counts the single-threaded path is taken outright. A
-    /// persistent worker pool would amortise the spawn cost further —
-    /// tracked on the ROADMAP.
+    /// Workers live in a **persistent pool** owned by the service:
+    /// threads spawn at the first pump that has work for more than one
+    /// of them (growing if sessions later outnumber the pool, up to the
+    /// configured cap — never respawning) and serve every later pump
+    /// until the service drops (graceful shutdown: workers are woken
+    /// and joined). Within a pump,
+    /// pending sessions go onto one shared queue that idle workers pull
+    /// from — work steals across sessions dynamically instead of by
+    /// static chunking, so one slow session cannot idle the rest of the
+    /// pool. When at most one session has pending work (or the service
+    /// is configured single-threaded) the pump drains inline on the
+    /// caller's thread and the pool is neither consulted nor spawned.
     pub fn pump(&mut self) {
         let budget = self.budget_cycles;
         let pending = self
@@ -539,8 +719,8 @@ impl DecodeService {
         if pending == 0 {
             return;
         }
-        let threads = self.effective_threads().min(pending);
-        if threads <= 1 {
+        if pending == 1 || self.configured_workers() <= 1 {
+            // Fast path: ≤ 1 busy session needs no pool at all.
             for slot in &mut self.slots {
                 if let Some(session) = &mut slot.session {
                     session.drain_inbox(budget);
@@ -548,29 +728,92 @@ impl DecodeService {
             }
             return;
         }
-        let chunk = self.slots.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for slice in self.slots.chunks_mut(chunk) {
-                scope.spawn(move || {
-                    for slot in slice {
-                        if let Some(session) = &mut slot.session {
-                            session.drain_inbox(budget);
-                        }
-                    }
-                });
+        // The pool tracks workload growth: more *busy* sessions than
+        // workers at this pump (up to the configured cap) spawn the
+        // difference. Sizing by pending work, not the slot table, keeps
+        // closed/free slots from inflating the pool.
+        let workers = self.configured_workers().min(pending);
+        let pool = match &mut self.pool {
+            Some(pool) => {
+                if pool.workers() < workers {
+                    self.workers_spawned += workers - pool.workers();
+                    pool.grow_to(workers);
+                }
+                &*pool
             }
-        });
+            None => {
+                self.workers_spawned += workers;
+                self.pool.insert(WorkerPool::spawn(workers))
+            }
+        };
+        let mut submitted = 0usize;
+        {
+            let mut queue = pool.shared.queue.lock();
+            debug_assert!(queue.pending.is_empty() && queue.finished.is_empty());
+            queue.completed = 0;
+            for (idx, slot) in self.slots.iter_mut().enumerate() {
+                if slot.session.as_ref().is_some_and(|s| !s.inbox.is_empty()) {
+                    let session = slot.session.take().expect("pending session exists");
+                    queue.pending.push_back(PumpJob {
+                        slot: idx as u32,
+                        session,
+                        budget,
+                    });
+                    submitted += 1;
+                }
+            }
+        }
+        pool.shared.work_ready.notify_all();
+        let mut queue = pool.shared.queue.lock();
+        while queue.completed < submitted {
+            queue = pool.shared.batch_done.wait(queue);
+        }
+        let finished = std::mem::take(&mut queue.finished);
+        let panic = queue.panic.take();
+        drop(queue);
+        for job in finished {
+            self.slots[job.slot as usize].session = Some(job.session);
+        }
+        if let Some(payload) = panic {
+            // Re-raise the worker's panic where the old scoped-thread
+            // implementation would have: on the pump caller. The
+            // panicking session is gone; free its slot so it can be
+            // recycled (its handle reports `UnknownSession` from here
+            // on). Submitted slots that did not come back in `finished`
+            // are exactly the ones whose drain panicked — every other
+            // empty slot is already on the free list.
+            for idx in 0..self.slots.len() as u32 {
+                if self.slots[idx as usize].session.is_none() && !self.free.contains(&idx) {
+                    self.free.push(idx);
+                }
+            }
+            std::panic::resume_unwind(payload);
+        }
     }
 
-    fn effective_threads(&self) -> usize {
-        let hw = if self.config.threads > 0 {
+    /// Worker count the configuration asks for: explicit `threads`, or
+    /// all cores when 0.
+    fn configured_workers(&self) -> usize {
+        if self.config.threads > 0 {
             self.config.threads
         } else {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
-        };
-        hw.min(self.slots.len()).max(1)
+        }
+    }
+
+    /// Number of live pump worker threads (0 until the first parallel
+    /// pump spawns the pool).
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::workers)
+    }
+
+    /// Total pump worker threads ever spawned by this service — the
+    /// spawn-counting hook: consecutive pumps must not move it once the
+    /// pool exists.
+    pub fn workers_spawned(&self) -> usize {
+        self.workers_spawned
     }
 
     /// Closes a session: ingests everything still queued, finishes the
@@ -912,6 +1155,146 @@ mod tests {
             per_thread_results[0], per_thread_results[2],
             "1 vs 8 threads"
         );
+    }
+
+    /// Pushes one noisy round into each of `sessions` open sessions.
+    fn push_round_per_session(
+        service: &mut DecodeService,
+        ids: &[SessionId],
+        patches: &mut [CodePatch],
+        rngs: &mut [ChaCha8Rng],
+        round: &mut DetectionRound,
+    ) {
+        let noise = PhenomenologicalNoise::symmetric(0.05);
+        for (s, &id) in ids.iter().enumerate() {
+            patches[s].noisy_round_into(&noise, &mut rngs[s], round);
+            service.push_round(id, round).unwrap();
+        }
+    }
+
+    #[test]
+    fn pump_reuses_the_worker_pool_across_calls() {
+        let mut service = service(ServiceBackend::Qecool, 4);
+        let lattice = Lattice::new(5).unwrap();
+        let ids: Vec<SessionId> = (0..6).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..6).map(|_| CodePatch::new(lattice.clone())).collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..6)
+            .map(|s| ChaCha8Rng::seed_from_u64(50 + s as u64))
+            .collect();
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+
+        assert_eq!(service.pool_workers(), 0, "pool must be lazy");
+        assert_eq!(service.workers_spawned(), 0);
+
+        push_round_per_session(&mut service, &ids, &mut patches, &mut rngs, &mut round);
+        service.pump();
+        let spawned_after_first = service.workers_spawned();
+        assert_eq!(spawned_after_first, 4, "pool sized to configured threads");
+        assert_eq!(service.pool_workers(), 4);
+
+        // The spawn-counting hook: consecutive pumps must not create a
+        // single new thread.
+        for _ in 0..10 {
+            push_round_per_session(&mut service, &ids, &mut patches, &mut rngs, &mut round);
+            service.pump();
+            assert_eq!(
+                service.workers_spawned(),
+                spawned_after_first,
+                "pump respawned workers"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_grows_when_sessions_outnumber_it() {
+        // 4 configured workers, but only 2 sessions exist at the first
+        // parallel pump — the pool starts at 2 and must grow (never
+        // respawn) to 4 when the session count catches up.
+        let mut service = service(ServiceBackend::Qecool, 4);
+        let lattice = Lattice::new(5).unwrap();
+        let mut ids: Vec<SessionId> = (0..2).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..2).map(|_| CodePatch::new(lattice.clone())).collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..2)
+            .map(|s| ChaCha8Rng::seed_from_u64(80 + s as u64))
+            .collect();
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        push_round_per_session(&mut service, &ids, &mut patches, &mut rngs, &mut round);
+        service.pump();
+        assert_eq!(service.pool_workers(), 2, "capped by the 2 open sessions");
+
+        for s in 2..4 {
+            ids.push(service.open_session());
+            patches.push(CodePatch::new(lattice.clone()));
+            rngs.push(ChaCha8Rng::seed_from_u64(80 + s as u64));
+        }
+        push_round_per_session(&mut service, &ids, &mut patches, &mut rngs, &mut round);
+        service.pump();
+        assert_eq!(
+            service.pool_workers(),
+            4,
+            "pool grew with the session count"
+        );
+        assert_eq!(service.workers_spawned(), 4);
+    }
+
+    #[test]
+    fn single_busy_session_never_spawns_the_pool() {
+        let mut service = service(ServiceBackend::Qecool, 8);
+        let lattice = Lattice::new(5).unwrap();
+        // Several sessions open, but only one ever has pending work: the
+        // ≤ 1-busy-session fast path must stay pool-free.
+        let busy = service.open_session();
+        let _idle_a = service.open_session();
+        let _idle_b = service.open_session();
+        let mut patch = CodePatch::new(lattice.clone());
+        let noise = PhenomenologicalNoise::symmetric(0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        for _ in 0..20 {
+            patch.noisy_round_into(&noise, &mut rng, &mut round);
+            service.push_round(busy, &round).unwrap();
+            service.pump();
+        }
+        assert_eq!(service.workers_spawned(), 0);
+        assert_eq!(service.pool_workers(), 0);
+    }
+
+    #[test]
+    fn drop_shuts_the_pool_down_cleanly() {
+        let mut service = service(ServiceBackend::Qecool, 3);
+        let lattice = Lattice::new(5).unwrap();
+        let ids: Vec<SessionId> = (0..4).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..4).map(|_| CodePatch::new(lattice.clone())).collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..4)
+            .map(|s| ChaCha8Rng::seed_from_u64(70 + s as u64))
+            .collect();
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        push_round_per_session(&mut service, &ids, &mut patches, &mut rngs, &mut round);
+        service.pump();
+
+        let spawned = service.workers_spawned();
+        assert!(spawned > 0);
+        let shared = Arc::clone(&service.pool.as_ref().expect("pool live").shared);
+        drop(service);
+        // Drop joins every worker, so by now each has run its exit hook
+        // and released its clone of the shared state.
+        assert_eq!(shared.exited.load(Ordering::Acquire), spawned);
+        assert_eq!(Arc::strong_count(&shared), 1);
+    }
+
+    #[test]
+    fn latency_histogram_reports_p99() {
+        let mut service = service(ServiceBackend::Qecool, 1);
+        let (_, report) = drive_session(&mut service, 23, 50, 0.05);
+        let lat = report.latency;
+        assert_eq!(lat.histogram.total(), lat.rounds);
+        let p99 = lat.p99_cycles();
+        assert!(
+            p99 >= lat.max_cycles / 2,
+            "p99 {p99} vs max {}",
+            lat.max_cycles
+        );
+        assert!(lat.histogram.percentile(1.0) >= lat.max_cycles);
     }
 
     #[test]

@@ -125,6 +125,78 @@ impl BitVec {
         indices.into_iter().fold(false, |acc, i| acc ^ self.get(i))
     }
 
+    /// The packed `u64` words backing the vector, little-endian within
+    /// each word (bit `i` lives at `words()[i / 64]`, position `i % 64`).
+    /// Bits at positions `>= self.len()` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of backing words, `len().div_ceil(64)`.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Overwrites one backing word. Bits of the final word beyond
+    /// `self.len()` are masked off, so the all-clear tail invariant that
+    /// [`Self::count_ones`] and [`Self::is_zero`] rely on is preserved
+    /// whatever the caller writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.num_words()`.
+    #[inline]
+    pub fn set_word(&mut self, idx: usize, value: u64) {
+        assert!(
+            idx < self.words.len(),
+            "word index {idx} out of range {}",
+            self.words.len()
+        );
+        let tail = self.len % 64;
+        self.words[idx] = if idx == self.words.len() - 1 && tail != 0 {
+            value & ((1u64 << tail) - 1)
+        } else {
+            value
+        };
+    }
+
+    /// XORs a raw word slice into the vector — the word-level sibling of
+    /// `^=` for callers that assemble masks outside a [`BitVec`]. The
+    /// final word is tail-masked like [`Self::set_word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` does not have exactly `self.num_words()` words.
+    pub fn xor_words(&mut self, rhs: &[u64]) {
+        assert_eq!(self.words.len(), rhs.len(), "word count mismatch");
+        for (a, b) in self.words.iter_mut().zip(rhs) {
+            *a ^= *b;
+        }
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of set bits within the positions selected by `masks`
+    /// (`popcount(self & masks)` without materialising the intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` does not have exactly `self.num_words()` words.
+    pub fn popcount_masked(&self, masks: &[u64]) -> usize {
+        assert_eq!(self.words.len(), masks.len(), "word count mismatch");
+        self.words
+            .iter()
+            .zip(masks)
+            .map(|(w, m)| (w & m).count_ones() as usize)
+            .sum()
+    }
+
     /// Iterates over the indices of the set bits in ascending order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
@@ -136,16 +208,15 @@ impl BitVec {
 }
 
 impl BitXorAssign<&BitVec> for BitVec {
-    /// Element-wise XOR.
+    /// Element-wise XOR, delegating to the word-level
+    /// [`BitVec::xor_words`].
     ///
     /// # Panics
     ///
     /// Panics if the two vectors have different lengths.
     fn bitxor_assign(&mut self, rhs: &BitVec) {
         assert_eq!(self.len, rhs.len, "BitVec length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
-            *a ^= *b;
-        }
+        self.xor_words(&rhs.words);
     }
 }
 
@@ -277,6 +348,70 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn copy_from_rejects_width_mismatch() {
         BitVec::zeros(10).copy_from(&BitVec::zeros(11));
+    }
+
+    #[test]
+    fn words_expose_packed_layout() {
+        let mut bits = BitVec::zeros(130);
+        bits.set(0, true);
+        bits.set(64, true);
+        bits.set(129, true);
+        assert_eq!(bits.num_words(), 3);
+        assert_eq!(bits.words(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn set_word_masks_the_tail() {
+        let mut bits = BitVec::zeros(70);
+        bits.set_word(1, u64::MAX);
+        // Only bits 64..70 of word 1 are in range.
+        assert_eq!(bits.count_ones(), 6);
+        assert!(bits.get(64) && bits.get(69));
+        bits.set_word(0, 0b101);
+        assert_eq!(bits.count_ones(), 8);
+        assert!(bits.get(0) && !bits.get(1) && bits.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_word_rejects_bad_index() {
+        BitVec::zeros(64).set_word(1, 0);
+    }
+
+    #[test]
+    fn xor_words_matches_bitxor_and_masks_tail() {
+        let mut a = BitVec::zeros(70);
+        a.set(3, true);
+        a.xor_words(&[0b1010, u64::MAX]);
+        // Word 0: {1, 3} ⊕ {3} = {1}; word 1: bits 64..70 survive the
+        // tail mask. Bits beyond 70 must not leak into counts.
+        assert!(a.get(1) && !a.get(3));
+        assert_eq!(a.count_ones(), 1 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn xor_words_rejects_width_mismatch() {
+        BitVec::zeros(70).xor_words(&[0]);
+    }
+
+    #[test]
+    fn popcount_masked_counts_intersection() {
+        let mut bits = BitVec::zeros(130);
+        for i in [0, 5, 64, 100, 129] {
+            bits.set(i, true);
+        }
+        let all = vec![u64::MAX; bits.num_words()];
+        assert_eq!(bits.popcount_masked(&all), 5);
+        // Word 0 mask 1 hits bit 0; word 1 full mask hits bits 64, 100.
+        assert_eq!(bits.popcount_masked(&[1, u64::MAX, 0]), 3);
+        assert_eq!(bits.popcount_masked(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn popcount_masked_rejects_width_mismatch() {
+        BitVec::zeros(130).popcount_masked(&[0]);
     }
 
     #[test]

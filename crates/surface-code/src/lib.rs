@@ -51,7 +51,7 @@ pub mod patch;
 pub mod syndrome;
 
 pub use bitvec::BitVec;
-pub use geometry::{Ancilla, Boundary, Edge, EdgeKind, Lattice, LatticeError};
+pub use geometry::{Ancilla, Boundary, Edge, EdgeKind, Lattice, LatticeError, SupportMasks};
 pub use history::SyndromeHistory;
 pub use noise::{CodeCapacityNoise, NoiseModel, PhenomenologicalNoise};
 pub use patch::CodePatch;

@@ -1,9 +1,11 @@
 //! Offline stand-in for the subset of `parking_lot` this workspace uses:
-//! poison-free [`Mutex`] and [`RwLock`] wrappers over `std::sync`.
+//! poison-free [`Mutex`], [`RwLock`] and [`Condvar`] wrappers over
+//! `std::sync`.
 
 #![deny(missing_docs)]
 
 use std::sync::PoisonError;
+use std::time::Duration;
 
 /// Guard returned by [`Mutex::lock`].
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
@@ -70,6 +72,68 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable that, like the mutexes here, never poisons.
+///
+/// One deviation from the real `parking_lot` API: `wait` takes the guard
+/// by value and hands it back (the `std::sync` calling convention)
+/// instead of through `&mut`, because the guard type is a re-export of
+/// `std::sync::MutexGuard` and cannot be re-seated in place without
+/// `unsafe`. Call sites read `guard = cv.wait(guard)`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the mutex while parked.
+    /// Spurious wakeups are possible — re-check the predicate.
+    #[must_use = "the guard must be re-seated: guard = cv.wait(guard)"]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until `condition` returns `false` (the `std` convention:
+    /// waits *while* the condition holds).
+    #[must_use = "the guard must be re-seated: guard = cv.wait_while(guard, ...)"]
+    pub fn wait_while<'a, T, F: FnMut(&mut T) -> bool>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        condition: F,
+    ) -> MutexGuard<'a, T> {
+        self.0
+            .wait_while(guard, condition)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns the guard and
+    /// `true` when the wait timed out.
+    #[must_use = "the guard must be re-seated"]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        (guard, result.timed_out())
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +151,40 @@ mod tests {
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        use std::sync::Arc;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let worker = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                *lock.lock() = true;
+                cv.notify_one();
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        assert!(*ready);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_while_and_timeout() {
+        let m = Mutex::new(3u32);
+        let cv = Condvar::new();
+        // Condition is already false: returns immediately.
+        let guard = cv.wait_while(m.lock(), |v| *v > 10);
+        assert_eq!(*guard, 3);
+        drop(guard);
+        let (guard, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(1));
+        assert!(timed_out);
+        assert_eq!(*guard, 3);
     }
 }
