@@ -1,7 +1,6 @@
 //! CI perf-regression gate: merges per-bench perf records into one
-//! `BENCH_pr.json` artifact and fails when any benchmark's throughput
-//! dropped more than the allowed fraction below the checked-in
-//! `BENCH_baseline.json`.
+//! `BENCH_pr.json` artifact and fails when any gated metric dropped more
+//! than the allowed fraction below the checked-in `BENCH_baseline.json`.
 //!
 //! ```text
 //! cargo run --release -p qecool-bench --bin perf_gate -- \
@@ -10,17 +9,24 @@
 //!     [--out BENCH_pr.json] [--max-drop-pct 20]
 //! ```
 //!
-//! Records are joined by `name`. A candidate with no baseline entry is
-//! reported and passes (new benchmarks should not need a lockstep
-//! baseline update); a **baseline entry with no candidate fails** — a
-//! benchmark vanishing from the run is itself a regression. A candidate
-//! above baseline is fine — the baseline is a floor, not a target. Exit
-//! status: 0 when every gated benchmark holds, 1 on any regression
-//! beyond the threshold.
+//! Records are joined by `name`, and besides throughput the gate also
+//! floors every [`qecool_bench::perf::gate::GATED_EXTRAS`] metric the
+//! baseline record carries (`sessions_per_core`, `ingest_rounds_per_sec`).
+//! A candidate with no baseline entry is reported and passes (new
+//! benchmarks should not need a lockstep baseline update); a **baseline
+//! entry with no candidate fails** — a benchmark vanishing from the run
+//! is itself a regression. A candidate above baseline is fine — the
+//! baseline is a floor, not a target.
+//!
+//! Exit status: 0 when every gated metric holds, 1 on any regression
+//! beyond the threshold, 2 when the comparison itself is invalid (a
+//! baseline floor that is zero/negative/non-finite, or a candidate
+//! missing a gated metric key) — the comparison logic lives in
+//! [`qecool_bench::perf::gate`] where those cases are unit-tested.
 
 use qecool_bench::{
     parse_or_die,
-    perf::{parse_records, write_records, BenchRecord},
+    perf::{gate, parse_records, write_records, BenchRecord},
     require_value, usage_error, TextTable,
 };
 
@@ -80,6 +86,13 @@ fn load(path: &str) -> Vec<BenchRecord> {
     parse_records(&text).unwrap_or_else(|e| usage_error(&format!("{path}: {e}")))
 }
 
+fn render_cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.0}"),
+        None => "-".to_owned(),
+    }
+}
+
 fn main() {
     let opts = GateOptions::parse();
     let baseline = load(&opts.baseline);
@@ -92,62 +105,42 @@ fn main() {
         eprintln!("wrote {out}");
     }
 
-    let mut table = TextTable::new(["benchmark", "baseline", "candidate", "ratio", "verdict"]);
-    let mut failures = 0usize;
-    let floor = 1.0 - opts.max_drop_pct / 100.0;
-    for record in &candidates {
-        let Some(base) = baseline.iter().find(|b| b.name == record.name) else {
-            table.row([
-                record.name.as_str(),
-                "-",
-                &format!("{:.0}", record.throughput),
-                "-",
-                "no baseline (pass)",
-            ]);
-            continue;
-        };
-        let ratio = record.throughput / base.throughput.max(f64::MIN_POSITIVE);
-        let verdict = if ratio >= floor {
-            "ok"
-        } else {
-            failures += 1;
-            "REGRESSION"
-        };
+    let report = gate::compare(&baseline, &candidates, opts.max_drop_pct)
+        .unwrap_or_else(|e| usage_error(&e));
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "metric",
+        "baseline",
+        "candidate",
+        "ratio",
+        "verdict",
+    ]);
+    for row in &report.rows {
         table.row([
-            record.name.as_str(),
-            &format!("{:.0}", base.throughput),
-            &format!("{:.0}", record.throughput),
-            &format!("{ratio:.3}"),
-            verdict,
+            row.name.as_str(),
+            row.metric.as_str(),
+            &render_cell(row.baseline),
+            &render_cell(row.candidate),
+            &match row.ratio {
+                Some(r) => format!("{r:.3}"),
+                None => "-".to_owned(),
+            },
+            &row.verdict,
         ]);
     }
-    // Coverage: a baseline benchmark with no candidate record means the
-    // bench silently vanished (renamed record, dropped --candidate) —
-    // that must trip the gate, not slide past it.
-    for base in &baseline {
-        if !candidates.iter().any(|c| c.name == base.name) {
-            failures += 1;
-            table.row([
-                base.name.as_str(),
-                &format!("{:.0}", base.throughput),
-                "-",
-                "-",
-                "MISSING CANDIDATE",
-            ]);
-        }
-    }
     println!("{}", table.render());
-    if failures > 0 {
+    if report.failures > 0 {
         eprintln!(
-            "perf gate FAILED: {failures} benchmark(s) dropped more than \
-             {:.0}% below baseline or went missing",
-            opts.max_drop_pct
+            "perf gate FAILED: {} metric(s) dropped more than {:.0}% below \
+             baseline or went missing",
+            report.failures, opts.max_drop_pct
         );
         std::process::exit(1);
     }
     eprintln!(
-        "perf gate passed: all {} benchmark(s) within {:.0}% of baseline",
-        candidates.len(),
+        "perf gate passed: all {} gated metric(s) within {:.0}% of baseline",
+        report.rows.len(),
         opts.max_drop_pct
     );
 }

@@ -1,30 +1,35 @@
-//! Throughput/latency benchmark of the long-lived decoding service:
-//! many concurrent syndrome-stream sessions decoded under the SFQ cycle
-//! budget.
+//! Throughput/latency benchmark of the sharded multi-tenant decoding
+//! fabric: many concurrent syndrome-stream sessions decoded under the
+//! SFQ cycle budget, spread over N service shards fed by lock-free
+//! ingest rings.
 //!
 //! Each session models one logical qubit: its own patch, its own seeded
-//! noise stream, its own decoder state inside the service. Every
-//! benchmark round pushes one detection round per session, pumps the
-//! service's worker pool, polls corrections and applies them — the
-//! steady-state serving loop. Reported: wall-clock throughput
-//! (rounds/s across all sessions) and decode-cycle latency against the
-//! per-round budget.
+//! noise stream, its own decoder state inside its shard's service. Every
+//! benchmark round batch-pushes one detection round per session through
+//! the rings, pumps the shards' worker pools, polls corrections and
+//! applies them — the steady-state serving loop. Reported: wall-clock
+//! throughput (rounds/s across all sessions), ring-ingest rate,
+//! session density per worker, decode-cycle latency against the
+//! per-round budget, and a per-session report digest — the digest is a
+//! pure function of every session's correction stream and close report,
+//! so `--shards 4` and `--shards 1` runs must print the same value.
 //!
 //! ```text
 //! cargo run --release -p qecool-bench --bin service_bench -- \
-//!     [--sessions N] [--rounds N] [--threads N] [--d D] [--p P] \
-//!     [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
+//!     [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
+//!     [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
 //!     [--json FILE]
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qecool_bench::{
     parse_ghz, parse_or_die, parse_threads, perf::write_records, perf::BenchRecord, require_value,
     usage_error, TextTable,
 };
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
-use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId};
+use qecool_sim::service::{ServiceBackend, ServiceConfig, SessionId};
+use qecool_sim::shard::{ShardedDecodeService, ShardedServiceConfig};
 use qecool_surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -33,6 +38,7 @@ struct BenchOptions {
     sessions: usize,
     rounds: usize,
     threads: usize,
+    shards: usize,
     d: usize,
     p: f64,
     ghz: f64,
@@ -47,6 +53,7 @@ impl BenchOptions {
             sessions: 64,
             rounds: 2000,
             threads: 0,
+            shards: 1,
             d: 5,
             p: 0.01,
             ghz: 2.0,
@@ -74,6 +81,13 @@ impl BenchOptions {
                 "--threads" => {
                     let v = require_value(&mut args, "--threads");
                     opts.threads = parse_threads(&v);
+                }
+                "--shards" => {
+                    let v = require_value(&mut args, "--shards");
+                    opts.shards = parse_or_die(&v, "--shards", "a positive integer");
+                    if opts.shards == 0 {
+                        usage_error("--shards must be >= 1");
+                    }
                 }
                 "--d" => {
                     let v = require_value(&mut args, "--d");
@@ -109,8 +123,9 @@ impl BenchOptions {
                 "--json" => opts.json = Some(require_value(&mut args, "--json")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--sessions N] [--rounds N] [--threads N] [--d D] [--p P] \
-                         [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] [--json FILE]"
+                        "usage: [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
+                         [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
+                         [--json FILE]"
                     );
                     std::process::exit(0);
                 }
@@ -121,21 +136,60 @@ impl BenchOptions {
     }
 }
 
+/// Running FNV-1a 64-bit over a session's observable serving history.
+/// Deterministic and order-sensitive: two runs agree iff every session
+/// saw the same corrections at the same polls and closed with the same
+/// report, which is exactly the shard-count-invariance the fabric
+/// promises.
+#[derive(Clone, Copy)]
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn push_edges(&mut self, edges: &[Edge]) {
+        self.push(edges.len() as u64);
+        for &edge in edges {
+            self.push(edge.index() as u64);
+        }
+    }
+}
+
 fn main() {
     let opts = BenchOptions::parse();
     let budget = CycleBudget::at_clock(opts.ghz * 1e9);
     let config = ServiceConfig::new(opts.d, opts.backend, budget).with_threads(opts.threads);
-    let mut service = match DecodeService::new(config) {
+    let service = match ShardedDecodeService::new(ShardedServiceConfig::new(config, opts.shards)) {
         Ok(s) => s,
         Err(e) => usage_error(&format!("--d: {e}")),
     };
     let lattice = Lattice::new(opts.d).expect("distance validated above");
     let noise = PhenomenologicalNoise::symmetric(opts.p);
+    // Worker budget the fabric divides between shards; the denominator
+    // for session density. Mirrors ShardedDecodeService::new.
+    let cores = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
 
     eprintln!(
-        "serving {} sessions x {} rounds (d = {}, p = {}, {:?} @ {} GHz = {} cycles/round)...",
+        "serving {} sessions x {} rounds on {} shard(s) (d = {}, p = {}, {:?} @ {} GHz = {} \
+         cycles/round)...",
         opts.sessions,
         opts.rounds,
+        service.num_shards(),
         opts.d,
         opts.p,
         opts.backend,
@@ -150,26 +204,31 @@ fn main() {
     let mut rngs: Vec<ChaCha8Rng> = (0..opts.sessions)
         .map(|s| ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64)))
         .collect();
-    let mut round = DetectionRound::zeros(lattice.num_ancillas());
-    let mut scratch: Vec<Edge> = Vec::new();
+    // One round buffer per session so a whole benchmark round can go
+    // through the batched ring-ingest path in one call.
+    let mut rounds: Vec<DetectionRound> = (0..opts.sessions)
+        .map(|_| DetectionRound::zeros(lattice.num_ancillas()))
+        .collect();
+    let mut digests: Vec<Digest> = vec![Digest::new(); opts.sessions];
 
     let start = Instant::now();
-    let mut overflowed = 0usize;
+    let mut ingest_time = Duration::ZERO;
     let mut total_corrections = 0u64;
     for _ in 0..opts.rounds {
         for s in 0..opts.sessions {
-            patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
-            // Overflowed sessions stay open but stop accepting rounds;
-            // real serving would close and re-initialize them.
-            let _ = service.push_round(ids[s], &round);
+            patches[s].noisy_round_into(&noise, &mut rngs[s], &mut rounds[s]);
         }
+        // Ring ingest is fire-and-forget: an overflowed session's rounds
+        // drain into drop accounting and surface in its close report.
+        let ingest_start = Instant::now();
+        service.push_rounds(ids.iter().copied().zip(rounds.iter()));
+        ingest_time += ingest_start.elapsed();
         service.pump();
         for s in 0..opts.sessions {
             if let Ok(fresh) = service.poll_corrections(ids[s]) {
-                scratch.clear();
-                scratch.extend_from_slice(fresh);
-                total_corrections += scratch.len() as u64;
-                patches[s].apply_corrections(scratch.iter().copied());
+                total_corrections += fresh.len() as u64;
+                digests[s].push_edges(&fresh);
+                patches[s].apply_corrections(fresh.iter().copied());
             }
         }
     }
@@ -179,6 +238,7 @@ fn main() {
     let mut mean_util_acc = 0.0f64;
     let mut overruns = 0u64;
     let mut max_cycles = 0u64;
+    let mut overflowed = 0usize;
     let mut hist = CycleHistogram::new();
     for &id in &ids {
         let lat = service.latency(id).expect("session open");
@@ -193,19 +253,42 @@ fn main() {
     }
     let p99_cycles = hist.percentile(0.99);
 
+    // Fold each session's close report into its digest, then combine in
+    // session order. Identical across shard counts and worker counts by
+    // construction — CI holds runs to that.
+    let mut fabric_digest = Digest::new();
+    for (s, id) in ids.into_iter().enumerate() {
+        let report = service.close_session(id).expect("session open");
+        digests[s].push_edges(&report.corrections);
+        digests[s].push(u64::from(report.overflowed));
+        digests[s].push(report.rounds_ingested);
+        digests[s].push(report.rounds_dropped);
+        fabric_digest.push(digests[s].0);
+    }
+    let stats = service.total_stats();
+
     let served_rounds = (opts.sessions * opts.rounds) as f64;
+    let throughput = served_rounds / elapsed.as_secs_f64().max(1e-12);
+    let ingest_rounds_per_sec = served_rounds / ingest_time.as_secs_f64().max(1e-12);
+    let sessions_per_core = opts.sessions as f64 / cores as f64;
+
     let mut table = TextTable::new(["metric", "value"]);
     table.row(["sessions", &opts.sessions.to_string()]);
     table.row(["rounds/session", &opts.rounds.to_string()]);
+    table.row(["shards", &service.num_shards().to_string()]);
     table.row([
         "budget (cycles/round)",
         &service.budget_cycles().to_string(),
     ]);
     table.row(["wall time (s)", &format!("{:.3}", elapsed.as_secs_f64())]);
+    table.row(["throughput (rounds/s)", &format!("{throughput:.0}")]);
     table.row([
-        "throughput (rounds/s)",
-        &format!("{:.0}", served_rounds / elapsed.as_secs_f64().max(1e-12)),
+        "ingest rate (rounds/s)",
+        &format!("{ingest_rounds_per_sec:.0}"),
     ]);
+    table.row(["sessions/core", &format!("{sessions_per_core:.2}")]);
+    table.row(["ring stalls", &stats.stalls.to_string()]);
+    table.row(["rounds dropped", &stats.dropped.to_string()]);
     table.row(["corrections emitted", &total_corrections.to_string()]);
     table.row(["max decode cycles", &max_cycles.to_string()]);
     table.row(["p99 decode cycles", &p99_cycles.to_string()]);
@@ -223,25 +306,22 @@ fn main() {
     ]);
     table.row(["budget overruns", &overruns.to_string()]);
     table.row(["overflowed sessions", &overflowed.to_string()]);
+    table.row(["session digest", &format!("{:016x}", fabric_digest.0)]);
     println!("{}", table.render());
 
     if let Some(path) = &opts.json {
-        let record = BenchRecord::new(
-            "service_bench",
-            served_rounds / elapsed.as_secs_f64().max(1e-12),
-        )
-        .with("p99_cycles", p99_cycles as f64)
-        .with("budget_cycles", service.budget_cycles() as f64)
-        .with("max_cycles", max_cycles as f64)
-        .with("overruns", overruns as f64)
-        .with("sessions", opts.sessions as f64)
-        .with("rounds_per_session", opts.rounds as f64)
-        .with("pump_workers", service.pool_workers() as f64);
+        let record = BenchRecord::new("service_bench", throughput)
+            .with("p99_cycles", p99_cycles as f64)
+            .with("budget_cycles", service.budget_cycles() as f64)
+            .with("max_cycles", max_cycles as f64)
+            .with("overruns", overruns as f64)
+            .with("sessions", opts.sessions as f64)
+            .with("rounds_per_session", opts.rounds as f64)
+            .with("pump_workers", cores as f64)
+            .with("shards", service.num_shards() as f64)
+            .with("sessions_per_core", sessions_per_core)
+            .with("ingest_rounds_per_sec", ingest_rounds_per_sec);
         write_records(path, std::slice::from_ref(&record));
         eprintln!("wrote {path}");
-    }
-
-    for id in ids {
-        let _ = service.close_session(id);
     }
 }

@@ -355,6 +355,191 @@ pub mod perf {
         Ok(records)
     }
 
+    /// The perf-regression comparison the `perf_gate` binary runs,
+    /// factored out of the binary so its failure modes are unit-testable.
+    ///
+    /// Two kinds of failure are kept distinct on purpose:
+    ///
+    /// * a **regression** (candidate below the floor, or a baseline
+    ///   benchmark with no candidate record) is a gate *verdict* —
+    ///   counted in [`gate::GateReport::failures`], exit 1 in the binary;
+    /// * a **broken comparison** (baseline metric that is zero, negative
+    ///   or non-finite; candidate missing a gated metric key) means the
+    ///   inputs cannot be gated at all — returned as `Err` with a
+    ///   message naming the record and metric, exit 2 in the binary,
+    ///   never a silently-computed `inf` ratio that would wave a dead
+    ///   baseline through.
+    pub mod gate {
+        use super::BenchRecord;
+
+        /// Extra metrics the gate compares (floor semantics, like
+        /// throughput) whenever the **baseline** record carries them.
+        /// Adding a key here + a baseline value turns a bench extra into
+        /// a gated metric; candidates must then keep emitting it.
+        pub const GATED_EXTRAS: &[&str] = &["sessions_per_core", "ingest_rounds_per_sec"];
+
+        /// One compared metric, ready for table rendering.
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct GateRow {
+            /// Benchmark name.
+            pub name: String,
+            /// Metric compared (`"throughput"` or a gated extra key).
+            pub metric: String,
+            /// Baseline value, if the baseline has this benchmark.
+            pub baseline: Option<f64>,
+            /// Candidate value, if the candidate run produced it.
+            pub candidate: Option<f64>,
+            /// `candidate / baseline` when both sides exist.
+            pub ratio: Option<f64>,
+            /// Human-readable verdict for the table.
+            pub verdict: String,
+            /// Whether this row counts against the gate.
+            pub failed: bool,
+        }
+
+        /// Outcome of a gate comparison that was at least well-formed.
+        #[derive(Debug, Clone, Default, PartialEq)]
+        pub struct GateReport {
+            /// Every compared metric, in evaluation order.
+            pub rows: Vec<GateRow>,
+            /// Rows that tripped the gate.
+            pub failures: usize,
+        }
+
+        fn extra(record: &BenchRecord, key: &str) -> Option<f64> {
+            record
+                .extras
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+        }
+
+        /// Checks a baseline value is usable as a comparison floor.
+        fn check_floor(name: &str, metric: &str, value: f64) -> Result<(), String> {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!(
+                    "baseline record '{name}' has unusable {metric} {value}: a floor must be \
+                     finite and positive (refresh BENCH_baseline.json from a green run)"
+                ));
+            }
+            Ok(())
+        }
+
+        fn compare_metric(
+            report: &mut GateReport,
+            name: &str,
+            metric: &str,
+            base: f64,
+            cand: f64,
+            floor: f64,
+        ) -> Result<(), String> {
+            check_floor(name, metric, base)?;
+            if !cand.is_finite() {
+                return Err(format!(
+                    "candidate record '{name}' has non-finite {metric} {cand}"
+                ));
+            }
+            let ratio = cand / base;
+            let failed = ratio < floor;
+            report.failures += usize::from(failed);
+            report.rows.push(GateRow {
+                name: name.to_owned(),
+                metric: metric.to_owned(),
+                baseline: Some(base),
+                candidate: Some(cand),
+                ratio: Some(ratio),
+                verdict: if failed { "REGRESSION" } else { "ok" }.to_owned(),
+                failed,
+            });
+            Ok(())
+        }
+
+        /// Compares candidate records against the baseline.
+        ///
+        /// For every candidate with a baseline entry, throughput is
+        /// gated at `1 - max_drop_pct / 100`, and so is each
+        /// [`GATED_EXTRAS`] key the baseline record carries. A candidate
+        /// with no baseline entry passes (new benchmarks need no
+        /// lockstep baseline update); a baseline entry with no candidate
+        /// record fails — a benchmark vanishing from the run is itself a
+        /// regression.
+        ///
+        /// # Errors
+        ///
+        /// A message naming the offending record and metric when the
+        /// comparison itself is invalid: a baseline floor that is zero,
+        /// negative or non-finite, a non-finite candidate value, or a
+        /// candidate missing a metric key the baseline gates.
+        pub fn compare(
+            baseline: &[BenchRecord],
+            candidates: &[BenchRecord],
+            max_drop_pct: f64,
+        ) -> Result<GateReport, String> {
+            let floor = 1.0 - max_drop_pct / 100.0;
+            let mut report = GateReport::default();
+            for record in candidates {
+                let Some(base) = baseline.iter().find(|b| b.name == record.name) else {
+                    report.rows.push(GateRow {
+                        name: record.name.clone(),
+                        metric: "throughput".to_owned(),
+                        baseline: None,
+                        candidate: Some(record.throughput),
+                        ratio: None,
+                        verdict: "no baseline (pass)".to_owned(),
+                        failed: false,
+                    });
+                    continue;
+                };
+                compare_metric(
+                    &mut report,
+                    &record.name,
+                    "throughput",
+                    base.throughput,
+                    record.throughput,
+                    floor,
+                )?;
+                for &key in GATED_EXTRAS {
+                    let Some(base_value) = extra(base, key) else {
+                        continue;
+                    };
+                    let Some(cand_value) = extra(record, key) else {
+                        return Err(format!(
+                            "candidate record '{}' is missing gated metric '{key}' \
+                             (present in the baseline; the bench stopped emitting it?)",
+                            record.name
+                        ));
+                    };
+                    compare_metric(
+                        &mut report,
+                        &record.name,
+                        key,
+                        base_value,
+                        cand_value,
+                        floor,
+                    )?;
+                }
+            }
+            // Coverage: a baseline benchmark with no candidate record
+            // means the bench silently vanished (renamed record, dropped
+            // --candidate) — that must trip the gate, not slide past it.
+            for base in baseline {
+                if !candidates.iter().any(|c| c.name == base.name) {
+                    report.failures += 1;
+                    report.rows.push(GateRow {
+                        name: base.name.clone(),
+                        metric: "throughput".to_owned(),
+                        baseline: Some(base.throughput),
+                        candidate: None,
+                        ratio: None,
+                        verdict: "MISSING CANDIDATE".to_owned(),
+                        failed: true,
+                    });
+                }
+            }
+            Ok(report)
+        }
+    }
+
     struct Parser<'a> {
         rest: &'a str,
     }
@@ -522,5 +707,127 @@ mod tests {
         assert!(perf::parse_records("{\"name\": \"x\"}").is_err());
         assert!(perf::parse_records("[{\"name\": \"x\", \"throughput\": oops}]").is_err());
         assert!(perf::parse_records("{\"name\": \"x\", \"throughput\": 1} junk").is_err());
+    }
+
+    #[test]
+    fn gate_passes_when_candidate_holds_the_floor() {
+        let baseline = vec![perf::BenchRecord::new("svc", 1000.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 900.0)];
+        let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].metric, "throughput");
+        assert!((report.rows[0].ratio.unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_flags_a_throughput_regression() {
+        let baseline = vec![perf::BenchRecord::new("svc", 1000.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 700.0)];
+        let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
+        assert_eq!(report.failures, 1);
+        assert!(report.rows[0].failed);
+        assert_eq!(report.rows[0].verdict, "REGRESSION");
+    }
+
+    #[test]
+    fn gate_flags_a_missing_candidate_and_passes_a_new_bench() {
+        let baseline = vec![perf::BenchRecord::new("old_bench", 1000.0)];
+        let candidate = vec![perf::BenchRecord::new("new_bench", 5.0)];
+        let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
+        assert_eq!(report.failures, 1);
+        let missing = report
+            .rows
+            .iter()
+            .find(|r| r.name == "old_bench")
+            .expect("missing-candidate row");
+        assert!(missing.failed);
+        assert_eq!(missing.verdict, "MISSING CANDIDATE");
+        assert!(missing.candidate.is_none());
+        let fresh = report.rows.iter().find(|r| r.name == "new_bench").unwrap();
+        assert!(!fresh.failed);
+        assert!(fresh.baseline.is_none());
+    }
+
+    #[test]
+    fn gate_rejects_a_zero_throughput_baseline() {
+        // The historic bug: `cand / base.max(f64::MIN_POSITIVE)` turned a
+        // dead baseline into a ~1e300 ratio that passed every floor.
+        let baseline = vec![perf::BenchRecord::new("svc", 0.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 900.0)];
+        let err = perf::gate::compare(&baseline, &candidate, 20.0).unwrap_err();
+        assert!(err.contains("svc"), "error should name the record: {err}");
+        assert!(
+            err.contains("throughput"),
+            "error should name the metric: {err}"
+        );
+    }
+
+    #[test]
+    fn gate_rejects_negative_and_non_finite_baselines() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let baseline = vec![perf::BenchRecord::new("svc", bad)];
+            let candidate = vec![perf::BenchRecord::new("svc", 900.0)];
+            assert!(
+                perf::gate::compare(&baseline, &candidate, 20.0).is_err(),
+                "baseline throughput {bad} must not be a usable floor"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_compares_gated_extras_the_baseline_carries() {
+        let baseline = vec![perf::BenchRecord::new("svc", 1000.0)
+            .with("sessions_per_core", 100.0)
+            .with("ingest_rounds_per_sec", 50000.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 1000.0)
+            .with("sessions_per_core", 100.0)
+            .with("ingest_rounds_per_sec", 20000.0)];
+        let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.failures, 1);
+        let ingest = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "ingest_rounds_per_sec")
+            .unwrap();
+        assert!(ingest.failed);
+        assert!(
+            !report
+                .rows
+                .iter()
+                .find(|r| r.metric == "sessions_per_core")
+                .unwrap()
+                .failed
+        );
+    }
+
+    #[test]
+    fn gate_rejects_a_candidate_missing_a_gated_extra() {
+        let baseline = vec![perf::BenchRecord::new("svc", 1000.0).with("sessions_per_core", 100.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 1000.0)];
+        let err = perf::gate::compare(&baseline, &candidate, 20.0).unwrap_err();
+        assert!(
+            err.contains("sessions_per_core"),
+            "error should name the missing metric: {err}"
+        );
+    }
+
+    #[test]
+    fn gate_rejects_a_zero_baseline_extra() {
+        let baseline = vec![perf::BenchRecord::new("svc", 1000.0).with("sessions_per_core", 0.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 1000.0).with("sessions_per_core", 90.0)];
+        assert!(perf::gate::compare(&baseline, &candidate, 20.0).is_err());
+    }
+
+    #[test]
+    fn gate_ignores_ungated_extras() {
+        // Only GATED_EXTRAS keys are floored; informational extras like
+        // p99_cycles must not create comparison rows.
+        let baseline = vec![perf::BenchRecord::new("svc", 1000.0).with("p99_cycles", 10.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 1000.0).with("p99_cycles", 9999.0)];
+        let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.rows.len(), 1);
     }
 }

@@ -80,6 +80,25 @@ pub trait Decoder {
     /// Returns the decoder to its freshly-constructed state without
     /// dropping allocations, so one instance serves many sessions.
     fn reset(&mut self);
+
+    /// Ingests rounds back-to-back until the batch is exhausted or the
+    /// round buffer overflows, returning how many rounds were accepted.
+    ///
+    /// A return value equal to `rounds.len()` means the whole batch went
+    /// in; anything smaller means ingestion stopped at the first
+    /// overflow and the remaining rounds were not consumed — the caller
+    /// must count the stream as failed, exactly as for [`Self::ingest`].
+    /// This is the decoder-side half of batched ring ingest: drains hand
+    /// a run of buffered rounds to the backend in one call instead of a
+    /// per-round virtual dispatch.
+    fn ingest_batch(&mut self, rounds: &[DetectionRound]) -> usize {
+        for (accepted, round) in rounds.iter().enumerate() {
+            if self.ingest(round).is_err() {
+                return accepted;
+            }
+        }
+        rounds.len()
+    }
 }
 
 impl Decoder for QecoolDecoder {
@@ -165,6 +184,67 @@ mod tests {
         }
         patch.apply_corrections(all.iter().copied());
         assert!(patch.syndrome_is_trivial());
+    }
+
+    #[test]
+    fn ingest_batch_matches_sequential_ingest() {
+        let lattice = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        patch.inject_error(lattice.horizontal_edge(2, 2));
+        let rounds = vec![patch.perfect_round(), patch.perfect_round()];
+
+        let mut sequential = QecoolDecoder::new(lattice.clone(), QecoolConfig::batch(2));
+        for round in &rounds {
+            sequential.ingest(round).unwrap();
+        }
+        let mut seq_out = DecodeOutput::default();
+        sequential.finish(&mut seq_out);
+
+        let mut batched = QecoolDecoder::new(lattice, QecoolConfig::batch(2));
+        assert_eq!(batched.ingest_batch(&rounds), rounds.len());
+        let mut batch_out = DecodeOutput::default();
+        batched.finish(&mut batch_out);
+
+        assert_eq!(batch_out.corrections, seq_out.corrections);
+        assert_eq!(batch_out.cycles, seq_out.cycles);
+    }
+
+    #[test]
+    fn ingest_batch_stops_at_the_first_overflow() {
+        /// Accepts `capacity` rounds, then overflows forever.
+        struct Brimming {
+            capacity: usize,
+            taken: usize,
+        }
+        impl Decoder for Brimming {
+            fn ingest(&mut self, _round: &DetectionRound) -> Result<(), RegOverflow> {
+                if self.taken == self.capacity {
+                    return Err(RegOverflow::at(self.capacity));
+                }
+                self.taken += 1;
+                Ok(())
+            }
+            fn decode_step(&mut self, _budget: Option<u64>, out: &mut DecodeOutput) {
+                out.clear();
+            }
+            fn finish(&mut self, out: &mut DecodeOutput) {
+                out.clear();
+            }
+            fn reset(&mut self) {
+                self.taken = 0;
+            }
+        }
+
+        let rounds = vec![DetectionRound::zeros(4); 5];
+        let mut decoder = Brimming {
+            capacity: 3,
+            taken: 0,
+        };
+        assert_eq!(decoder.ingest_batch(&rounds), 3);
+        // The failed batch consumed nothing past the overflow: after a
+        // reset the remainder can be re-ingested from the cut point.
+        decoder.reset();
+        assert_eq!(decoder.ingest_batch(&rounds[3..]), 2);
     }
 
     #[test]

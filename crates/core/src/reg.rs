@@ -22,6 +22,15 @@ pub struct RegOverflow {
 }
 
 impl RegOverflow {
+    /// Builds the overflow error for a register bank of `capacity`
+    /// layers. Test-only: lets custom [`crate::api::Decoder`]
+    /// implementations in tests signal overflow without standing up a
+    /// real register bank.
+    #[cfg(test)]
+    pub(crate) fn at(capacity: usize) -> Self {
+        Self { capacity }
+    }
+
     /// The register capacity that was exceeded.
     pub fn capacity(&self) -> usize {
         self.capacity

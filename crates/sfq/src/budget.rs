@@ -151,14 +151,22 @@ impl CycleHistogram {
     }
 
     /// The inclusive upper cycle bound of the bucket containing the
-    /// `q`-quantile round (`q` in `[0, 1]`), or 0 for an empty
-    /// histogram. `percentile(0.99)` is the p99 round cost, rounded up
-    /// to the next power-of-two boundary.
+    /// `q`-quantile round, or 0 for an empty histogram (whatever `q`).
+    /// `percentile(0.99)` is the p99 round cost, rounded up to the next
+    /// power-of-two boundary.
+    ///
+    /// Out-of-range quantiles are defined, never a bucket-index panic:
+    /// `q ≤ 0` clamps to the minimum recorded cost's bucket, `q ≥ 1` to
+    /// the maximum's, and a NaN `q` is treated as 1.0 — the conservative
+    /// (never under-reporting) choice this histogram makes everywhere.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        // NaN fails every comparison, so `clamp` would propagate it into
+        // the rank arithmetic; pin it to the conservative end instead.
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (b, &count) in self.buckets.iter().enumerate() {
             seen += count;
@@ -318,6 +326,40 @@ mod tests {
             c
         };
         assert_eq!(merged_again, a);
+    }
+
+    #[test]
+    fn cycle_histogram_empty_is_zero_for_any_quantile() {
+        let h = CycleHistogram::new();
+        for q in [0.0, 0.5, 1.0, -3.0, 42.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(h.percentile(q), 0, "empty histogram, q = {q}");
+        }
+    }
+
+    #[test]
+    fn cycle_histogram_percentile_bounds_are_pinned() {
+        let mut h = CycleHistogram::new();
+        for c in [3u64, 5, 9, 1000] {
+            h.record(c);
+        }
+        // p0 is the minimum's bucket bound, p100 the maximum's.
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(1.0), 1023);
+        // Out-of-range quantiles clamp to those same ends.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::NEG_INFINITY), h.percentile(0.0));
+        assert_eq!(h.percentile(2.0), h.percentile(1.0));
+        assert_eq!(h.percentile(f64::INFINITY), h.percentile(1.0));
+    }
+
+    #[test]
+    fn cycle_histogram_nan_quantile_is_conservative() {
+        let mut h = CycleHistogram::new();
+        h.record(1);
+        h.record(700);
+        // NaN must neither panic nor under-report: it pins to p100.
+        assert_eq!(h.percentile(f64::NAN), h.percentile(1.0));
+        assert!(h.percentile(f64::NAN) >= 700);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`service`] — the long-lived decoding service: per-logical-qubit
 //!   syndrome-stream sessions decoded under the SFQ cycle budget, with
 //!   all three backends behind the [`qecool::api::Decoder`] trait;
+//! * [`shard`] — the multi-tenant front end: N service shards, each fed
+//!   by a lock-free bounded ingest ring ([`ring`]), so many producer
+//!   threads push syndrome rounds without taking a service lock;
 //! * [`montecarlo`] — the [`McResult`] aggregate and the classic
 //!   single-campaign wrapper over the engine;
 //! * [`stats`] — binomial rate estimates (Wilson intervals) and streaming
@@ -44,7 +47,9 @@ pub mod dual_sector;
 pub mod engine;
 pub mod experiments;
 pub mod montecarlo;
+pub mod ring;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod threshold;
 pub mod trials;
@@ -53,10 +58,12 @@ pub use dual_sector::{dual_sector_error_rate, run_dual_sector_trial, DualSectorO
 pub use engine::{DecodeEngine, EngineConfig, EngineTally, McJob};
 pub use experiments::{log_grid, sweep, sweep_on, Sweep, SweepPoint};
 pub use montecarlo::{run_monte_carlo, McResult};
+pub use ring::{IngestRing, RingFull};
 pub use service::{
     DecodeService, LatencyStats, ServiceBackend, ServiceConfig, ServiceError, SessionId,
     SessionReport,
 };
+pub use shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
 pub use stats::{CycleAggregate, RateEstimate};
 pub use threshold::{estimate_threshold, Curve, ThresholdEstimate};
 pub use trials::{run_trial, DecoderKind, NoiseKind, TrialConfig, TrialOutcome};

@@ -148,6 +148,38 @@ pub struct SessionId {
     generation: u32,
 }
 
+impl SessionId {
+    /// Placeholder id used to pre-fill ingest-ring slots. Never matches
+    /// a live slot: generations start at 0 and bump once per recycle, so
+    /// `u32::MAX` is unreachable for any real session.
+    pub(crate) fn invalid() -> Self {
+        Self {
+            index: u32::MAX,
+            generation: u32::MAX,
+        }
+    }
+
+    pub(crate) fn from_parts(index: u32, generation: u32) -> Self {
+        Self { index, generation }
+    }
+
+    pub(crate) fn index(self) -> u32 {
+        self.index
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Which of `num_shards` shards this id routes to. The sharded front
+    /// end interleaves global indices across shards (`global = local ×
+    /// N + shard`), so the shard is recoverable from the id alone — this
+    /// is the "hash" every ingest-path routing decision uses.
+    pub(crate) fn shard_of(self, num_shards: u32) -> u32 {
+        self.index % num_shards
+    }
+}
+
 /// Errors surfaced by the session API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceError {
@@ -157,6 +189,11 @@ pub enum ServiceError {
     /// the stream and the session is failed (paper §V-B). The stream
     /// state is unrecoverable; close the session and reopen.
     Overflowed,
+    /// A shard's ingest ring was full and the caller asked not to block
+    /// (`ShardedDecodeService::try_push_round`). The round was not
+    /// enqueued; retry after a pump, or use the blocking push which
+    /// drains inline instead of failing.
+    Backpressure,
 }
 
 impl fmt::Display for ServiceError {
@@ -167,6 +204,12 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "session failed: decoder register overflow (stream fell behind)"
+                )
+            }
+            ServiceError::Backpressure => {
+                write!(
+                    f,
+                    "shard ingest ring full (backpressure); retry after a pump"
                 )
             }
         }
@@ -251,6 +294,12 @@ pub struct SessionReport {
     pub overflowed: bool,
     /// Rounds ingested over the session's lifetime.
     pub rounds_ingested: u64,
+    /// Rounds discarded at ingest. The solo push path reports failures
+    /// as errors instead and never drops, so this stays 0 there; the
+    /// sharded ring path is fire-and-forget, and rounds that drain into
+    /// an already-failed session are counted here rather than lost
+    /// silently.
+    pub rounds_dropped: u64,
 }
 
 /// One live session: backend decoder, inbound round queue, emitted
@@ -269,6 +318,7 @@ struct Session {
     latency: LatencyStats,
     overflowed: bool,
     rounds_ingested: u64,
+    rounds_dropped: u64,
 }
 
 impl Session {
@@ -286,6 +336,7 @@ impl Session {
             },
             overflowed: false,
             rounds_ingested: 0,
+            rounds_dropped: 0,
         }
     }
 
@@ -360,6 +411,12 @@ impl Session {
 struct Slot {
     generation: u32,
     session: Option<Session>,
+    /// Whether this slot's index currently sits on the free list. The
+    /// flag makes reclamation **idempotent**: a slot can only be pushed
+    /// while the flag is clear, so re-running reclamation (e.g. a second
+    /// panicked pump before the first freed slot was reused) can never
+    /// double-insert an index and hand one slot to two live sessions.
+    on_free: bool,
 }
 
 /// One unit of pump work: a session moved out of its slot, drained by
@@ -576,6 +633,7 @@ impl DecodeService {
             let slot = &mut self.slots[index as usize];
             slot.generation += 1;
             slot.session = Some(session);
+            slot.on_free = false;
             return SessionId {
                 index,
                 generation: slot.generation,
@@ -584,6 +642,7 @@ impl DecodeService {
         self.slots.push(Slot {
             generation: 0,
             session: Some(session),
+            on_free: false,
         });
         SessionId {
             index: (self.slots.len() - 1) as u32,
@@ -780,14 +839,27 @@ impl DecodeService {
             // panicking session is gone; free its slot so it can be
             // recycled (its handle reports `UnknownSession` from here
             // on). Submitted slots that did not come back in `finished`
-            // are exactly the ones whose drain panicked — every other
-            // empty slot is already on the free list.
+            // are exactly the ones whose drain panicked; `release_slot`
+            // is idempotent (per-slot `on_free` flag), so rescanning the
+            // whole table — here and again on any later panicked pump —
+            // can never push an index twice and alias two sessions onto
+            // one slot, which the old `free.contains` scan allowed to
+            // race with interleaved reclamation paths.
             for idx in 0..self.slots.len() as u32 {
-                if self.slots[idx as usize].session.is_none() && !self.free.contains(&idx) {
-                    self.free.push(idx);
-                }
+                self.release_slot(idx);
             }
             std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Returns an emptied slot's index to the free list exactly once,
+    /// however many times it is called — the per-slot `on_free` flag is
+    /// the idempotence guard. No-op for slots that still hold a session.
+    fn release_slot(&mut self, index: u32) {
+        let slot = &mut self.slots[index as usize];
+        if slot.session.is_none() && !slot.on_free {
+            slot.on_free = true;
+            self.free.push(index);
         }
     }
 
@@ -832,7 +904,7 @@ impl DecodeService {
         self.session_mut(id)?;
         let slot = &mut self.slots[id.index as usize];
         let mut session = slot.session.take().expect("session just validated");
-        self.free.push(id.index);
+        self.release_slot(id.index);
         let closing_cycles = session.finish();
         let corrections = if session.overflowed {
             Vec::new()
@@ -845,7 +917,30 @@ impl DecodeService {
             closing_cycles,
             overflowed: session.overflowed,
             rounds_ingested: session.rounds_ingested,
+            rounds_dropped: session.rounds_dropped,
         })
+    }
+
+    /// Counts one round discarded at ingest against a session. Used by
+    /// the sharded front end: its ring ingest is fire-and-forget, so a
+    /// round that drains into a session whose stream has already failed
+    /// is accounted here (and in the [`SessionReport`]) instead of
+    /// vanishing.
+    pub(crate) fn record_dropped_round(&mut self, id: SessionId) -> Result<(), ServiceError> {
+        let session = self.session_mut(id)?;
+        session.rounds_dropped += 1;
+        Ok(())
+    }
+
+    /// Swaps a live session's backend — a test hook for injecting
+    /// panicking or otherwise misbehaving decoders into the pump path.
+    #[cfg(test)]
+    pub(crate) fn replace_backend_for_test(
+        &mut self,
+        id: SessionId,
+        backend: Box<dyn Decoder + Send>,
+    ) {
+        self.session_mut(id).expect("live session").backend = backend;
     }
 }
 
@@ -1308,6 +1403,93 @@ mod tests {
         assert!(lat.max_cycles <= lat.total_cycles);
         assert!(lat.mean_cycles() > 0.0);
         assert!(lat.mean_utilisation() > 0.0);
+    }
+
+    /// A backend whose decode step always panics — stands in for any
+    /// bug that unwinds a pump worker mid-drain.
+    struct PanicOnDecode;
+
+    impl Decoder for PanicOnDecode {
+        fn ingest(&mut self, _round: &DetectionRound) -> Result<(), RegOverflow> {
+            Ok(())
+        }
+
+        fn decode_step(&mut self, _budget: Option<u64>, _out: &mut DecodeOutput) {
+            panic!("injected decode panic");
+        }
+
+        fn finish(&mut self, _out: &mut DecodeOutput) {}
+
+        fn reset(&mut self) {}
+    }
+
+    fn assert_free_list_consistent(service: &DecodeService) {
+        let mut seen = std::collections::HashSet::new();
+        for &idx in &service.free {
+            assert!(seen.insert(idx), "slot {idx} on the free list twice");
+            assert!(
+                service.slots[idx as usize].session.is_none(),
+                "live session's slot {idx} on the free list"
+            );
+            assert!(service.slots[idx as usize].on_free, "flag out of sync");
+        }
+    }
+
+    #[test]
+    fn slot_reclamation_after_worker_panic_is_idempotent() {
+        // Regression: the post-panic rescan must never put a slot on the
+        // free list twice — a duplicate would hand one slot to two
+        // sessions, and the second open would corrupt the first's
+        // generation tag. Panic two pumps in a row (the rescan runs over
+        // the whole table each time) and then exercise the recycled
+        // slots.
+        let mut service = service(ServiceBackend::Qecool, 2);
+        let lattice = Lattice::new(5).unwrap();
+        let ids: Vec<SessionId> = (0..4).map(|_| service.open_session()).collect();
+        let round = {
+            let mut patch = CodePatch::new(lattice.clone());
+            patch.inject_error(lattice.horizontal_edge(1, 1));
+            patch.perfect_round()
+        };
+
+        for panicking in [ids[1], ids[2]] {
+            service.replace_backend_for_test(panicking, Box::new(PanicOnDecode));
+            for &id in &ids {
+                // Rounds for already-dead handles are skipped.
+                let _ = service.push_round(id, &round);
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                service.pump();
+            }));
+            assert!(outcome.is_err(), "injected panic must reach the caller");
+            assert_free_list_consistent(&service);
+            // The panicked session is gone; its handle is dead.
+            assert_eq!(
+                service.poll_corrections(panicking).unwrap_err(),
+                ServiceError::UnknownSession
+            );
+        }
+
+        // Both freed slots recycle to exactly one new session each, with
+        // bumped generations; no two live sessions may share a slot.
+        let replacements: Vec<SessionId> = (0..2).map(|_| service.open_session()).collect();
+        let mut live: Vec<u32> = ids
+            .iter()
+            .filter(|id| service.session(**id).is_ok())
+            .chain(&replacements)
+            .map(|id| id.index)
+            .collect();
+        live.sort_unstable();
+        live.dedup();
+        assert_eq!(live.len(), 4, "two live sessions share a slot");
+        assert_free_list_consistent(&service);
+
+        // The survivors and replacements still serve.
+        for id in replacements {
+            service.push_round(id, &round).unwrap();
+        }
+        service.pump();
+        assert_free_list_consistent(&service);
     }
 
     #[test]

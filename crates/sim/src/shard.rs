@@ -1,0 +1,695 @@
+//! The sharded multi-tenant front end over [`DecodeService`]: the
+//! "millions of users" ingest fabric.
+//!
+//! One [`DecodeService`] owns one worker pool and one session table, and
+//! every ingest goes through `&mut self`. A [`ShardedDecodeService`]
+//! scales that out: it owns `N` internal service **shards**, each with
+//! its own session table, persistent pump pool, and — the point — its
+//! own lock-free [`IngestRing`]. A producer pushing a round touches only
+//! the ring of the session's shard ([`SessionId`]s route by
+//! `index % N`), so ingest from many threads proceeds without taking any
+//! shard's service lock, and tenants on different shards never contend
+//! at all.
+//!
+//! # Ingest semantics
+//!
+//! Ring ingest is **fire-and-forget**: [`ShardedDecodeService::push_round`]
+//! enqueues and returns, and session-level failures surface at the next
+//! [`ShardedDecodeService::poll_corrections`] /
+//! [`ShardedDecodeService::close_session`] — exactly the shape of real
+//! control hardware, where the readout fan-in cannot wait for decoder
+//! state. Consequences:
+//!
+//! * A round for a session whose stream already failed (register
+//!   overflow) is discarded at drain time and **accounted**: the
+//!   session's [`SessionReport::rounds_dropped`] and the shard's
+//!   [`ShardStats::dropped`] both count it.
+//! * A round for a stale/unknown handle is discarded and counted in
+//!   [`ShardStats::dropped`] only (there is no session to bill).
+//! * A full ring exerts **backpressure**: the blocking push drains the
+//!   ring into the shard inline (paying the latency on the producer,
+//!   counted in [`ShardStats::stalls`]) and never drops;
+//!   [`ShardedDecodeService::try_push_round`] instead returns
+//!   [`ServiceError::Backpressure`] and lets the caller choose.
+//!
+//! # Determinism
+//!
+//! A session's corrections are a pure function of its round stream:
+//! rings preserve per-producer FIFO order, every session lives on
+//! exactly one shard, and each shard's pump preserves the solo service's
+//! guarantees — so per-session output is byte-identical across **any**
+//! shard count × pump-worker count combination (enforced in
+//! `tests/determinism.rs` over 1/2/8 workers × 1/2/4 shards).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError};
+
+use crate::ring::IngestRing;
+use crate::service::{
+    DecodeService, LatencyStats, ServiceConfig, ServiceError, SessionId, SessionReport,
+};
+
+/// Configuration of a [`ShardedDecodeService`]: the per-shard service
+/// configuration plus the fabric geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedServiceConfig {
+    /// Configuration every shard's [`DecodeService`] is built from. Its
+    /// `threads` field is the **total** worker budget: it is divided
+    /// across shards (at least one worker each) so `--shards` does not
+    /// multiply the thread count.
+    pub service: ServiceConfig,
+    /// Number of service shards (≥ 1).
+    pub shards: usize,
+    /// Capacity of each shard's ingest ring, in rounds (rounded up to a
+    /// power of two by the ring).
+    pub ring_capacity: usize,
+}
+
+/// Default per-shard ring capacity: deep enough that a pump-per-round
+/// serving loop never stalls, shallow enough to bound a shard's
+/// buffered-round memory.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+impl ShardedServiceConfig {
+    /// A sharded configuration with the default ring capacity.
+    pub fn new(service: ServiceConfig, shards: usize) -> Self {
+        Self {
+            service,
+            shards,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Overrides the per-shard ingest-ring capacity.
+    pub fn with_ring_capacity(mut self, ring_capacity: usize) -> Self {
+        self.ring_capacity = ring_capacity;
+        self
+    }
+}
+
+/// Snapshot of one shard's ingest accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Rounds accepted into the shard's ring (or delivered through the
+    /// backpressure fallback).
+    pub enqueued: u64,
+    /// Rounds drained from the ring into live sessions.
+    pub drained: u64,
+    /// Blocking pushes that found the ring full and drained it inline —
+    /// the backpressure events a capacity planner watches.
+    pub stalls: u64,
+    /// Rounds discarded at drain: their session's stream had failed, or
+    /// their handle was stale/unknown.
+    pub dropped: u64,
+}
+
+impl ShardStats {
+    fn accumulate(&mut self, other: ShardStats) {
+        self.enqueued += other.enqueued;
+        self.drained += other.drained;
+        self.stalls += other.stalls;
+        self.dropped += other.dropped;
+    }
+}
+
+/// One shard: a solo service behind a lock, fed by a lock-free ring.
+struct Shard {
+    service: Mutex<DecodeService>,
+    ring: IngestRing,
+    enqueued: AtomicU64,
+    drained: AtomicU64,
+    stalls: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Shard {
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The sharded decoding fabric. See the module docs for routing, ingest
+/// semantics and the determinism guarantee.
+pub struct ShardedDecodeService {
+    shards: Vec<Shard>,
+    num_shards: u32,
+    config: ShardedServiceConfig,
+    /// Round-robin cursor for [`Self::open_session`] shard placement.
+    next_shard: AtomicU32,
+}
+
+impl std::fmt::Debug for ShardedDecodeService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDecodeService")
+            .field("shards", &self.num_shards)
+            .field("open_sessions", &self.num_sessions())
+            .finish()
+    }
+}
+
+impl ShardedDecodeService {
+    /// Builds the fabric: `shards` independent [`DecodeService`]s, each
+    /// with its own ingest ring and a slice of the worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError`] when the code distance is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` is 0.
+    pub fn new(config: ShardedServiceConfig) -> Result<Self, LatticeError> {
+        assert!(config.shards >= 1, "shard count must be >= 1");
+        let width = Lattice::new(config.service.d)?.num_ancillas();
+        // Divide the worker budget: `threads` is the fabric-wide cap, so
+        // a shard gets its share (min 1) rather than the whole budget —
+        // otherwise `--shards 8 --threads 8` would stand up 64 workers.
+        let total_workers = if config.service.threads > 0 {
+            config.service.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let shard_config = config
+            .service
+            .with_threads((total_workers / config.shards).max(1));
+        let shards = (0..config.shards)
+            .map(|_| {
+                Ok(Shard {
+                    service: Mutex::new(DecodeService::new(shard_config)?),
+                    ring: IngestRing::new(config.ring_capacity, width),
+                    enqueued: AtomicU64::new(0),
+                    drained: AtomicU64::new(0),
+                    stalls: AtomicU64::new(0),
+                    dropped: AtomicU64::new(0),
+                })
+            })
+            .collect::<Result<Vec<_>, LatticeError>>()?;
+        Ok(Self {
+            shards,
+            num_shards: config.shards as u32,
+            config,
+            next_shard: AtomicU32::new(0),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardedServiceConfig {
+        &self.config
+    }
+
+    /// Number of service shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Decode cycles every round is budgeted (clock × interval).
+    pub fn budget_cycles(&self) -> u64 {
+        self.config.service.budget.cycles_per_round()
+    }
+
+    /// A global session id encodes its shard in the low bits of the
+    /// index (`global = local × N + shard`), so routing is a pure
+    /// function of the id and ids stay unique across shards.
+    fn globalize(&self, local: SessionId, shard: u32) -> SessionId {
+        SessionId::from_parts(local.index() * self.num_shards + shard, local.generation())
+    }
+
+    fn localize(&self, id: SessionId) -> SessionId {
+        SessionId::from_parts(id.index() / self.num_shards, id.generation())
+    }
+
+    fn shard_for(&self, id: SessionId) -> &Shard {
+        &self.shards[id.shard_of(self.num_shards) as usize]
+    }
+
+    /// Opens a new session, placing it on the next shard round-robin,
+    /// and returns its (shard-encoding) handle.
+    pub fn open_session(&self) -> SessionId {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.num_shards;
+        let local = self.shards[shard as usize].service.lock().open_session();
+        self.globalize(local, shard)
+    }
+
+    /// Delivers one ring (or fallback) round into the shard's service,
+    /// with drop accounting. Caller holds the shard's service lock.
+    fn deliver(
+        &self,
+        shard: &Shard,
+        service: &mut DecodeService,
+        id: SessionId,
+        round: &DetectionRound,
+    ) {
+        let local = self.localize(id);
+        match service.push_round(local, round) {
+            Ok(()) => {
+                shard.drained.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::Overflowed) => {
+                // The stream already failed; bill the drop to the
+                // session so its close report accounts for it.
+                let _ = service.record_dropped_round(local);
+                shard.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Stale or never-opened handle: nothing to bill.
+                shard.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Moves every queued ring round into the shard's session inboxes.
+    /// Caller holds the shard's service lock.
+    fn drain_ring(&self, shard: &Shard, service: &mut DecodeService) {
+        while shard
+            .ring
+            .pop_with(|id, round| self.deliver(shard, service, id, round))
+            .is_some()
+        {}
+    }
+
+    /// Enqueues one round for `id`'s session onto its shard's lock-free
+    /// ring — the multi-tenant hot path: no service lock is taken unless
+    /// the ring is full, in which case the push exerts backpressure by
+    /// draining the ring inline (counted in [`ShardStats::stalls`])
+    /// rather than dropping the round.
+    ///
+    /// Ingest is fire-and-forget: a failed or stale session's rounds are
+    /// discarded (and accounted) at drain time, and the failure surfaces
+    /// on the next poll/close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round width does not match the fabric's lattice.
+    pub fn push_round(&self, id: SessionId, round: &DetectionRound) {
+        let shard = self.shard_for(id);
+        shard.enqueued.fetch_add(1, Ordering::Relaxed);
+        if shard.ring.try_push(id, round).is_err() {
+            // Backpressure: the producer pays the drain, keeping
+            // per-session arrival order (ring first, this round after).
+            shard.stalls.fetch_add(1, Ordering::Relaxed);
+            let mut service = shard.service.lock();
+            self.drain_ring(shard, &mut service);
+            self.deliver(shard, &mut service, id, round);
+        }
+    }
+
+    /// Non-blocking variant of [`Self::push_round`]: a full ring returns
+    /// [`ServiceError::Backpressure`] (the round is not enqueued)
+    /// instead of draining inline, so a latency-critical producer never
+    /// touches a service lock.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Backpressure`] when the shard's ring is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round width does not match the fabric's lattice.
+    pub fn try_push_round(
+        &self,
+        id: SessionId,
+        round: &DetectionRound,
+    ) -> Result<(), ServiceError> {
+        let shard = self.shard_for(id);
+        match shard.ring.try_push(id, round) {
+            Ok(()) => {
+                shard.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(ServiceError::Backpressure),
+        }
+    }
+
+    /// Batched ingest: pushes many rounds, possibly spanning many
+    /// sessions and shards, in iteration order (per-session order is
+    /// preserved; that is the only order that matters). One call
+    /// amortises the routing over a whole readout batch — the shape a
+    /// fan-in stage wants.
+    pub fn push_rounds<'a, I>(&self, batch: I)
+    where
+        I: IntoIterator<Item = (SessionId, &'a DetectionRound)>,
+    {
+        for (id, round) in batch {
+            self.push_round(id, round);
+        }
+    }
+
+    /// Decodes a session's pending rounds and returns the corrections
+    /// emitted since the previous poll. Drains the session's shard ring
+    /// first, so every round pushed before this call is decoded by it.
+    ///
+    /// Returns an owned vector (the solo service hands out a borrow; a
+    /// sharded fabric cannot, since the slice lives behind the shard
+    /// lock).
+    ///
+    /// # Errors
+    ///
+    /// As [`DecodeService::poll_corrections`].
+    pub fn poll_corrections(&self, id: SessionId) -> Result<Vec<Edge>, ServiceError> {
+        let shard = self.shard_for(id);
+        let mut service = shard.service.lock();
+        self.drain_ring(shard, &mut service);
+        service
+            .poll_corrections(self.localize(id))
+            .map(<[Edge]>::to_vec)
+    }
+
+    /// Latency accounting of one session so far.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn latency(&self, id: SessionId) -> Result<LatencyStats, ServiceError> {
+        self.shard_for(id).service.lock().latency(self.localize(id))
+    }
+
+    /// `true` once the session has failed by register overflow.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn is_overflowed(&self, id: SessionId) -> Result<bool, ServiceError> {
+        self.shard_for(id)
+            .service
+            .lock()
+            .is_overflowed(self.localize(id))
+    }
+
+    /// Drains every shard's ring and drives every session's pending
+    /// rounds to completion on that shard's persistent worker pool.
+    /// Shards are pumped in index order; within a shard the solo
+    /// service's pump guarantees hold unchanged.
+    pub fn pump(&self) {
+        for shard in &self.shards {
+            let mut service = shard.service.lock();
+            self.drain_ring(shard, &mut service);
+            service.pump();
+        }
+    }
+
+    /// Closes a session (draining its shard's ring first so every round
+    /// pushed before the close is part of the stream) and returns its
+    /// report, including [`SessionReport::rounds_dropped`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn close_session(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        let shard = self.shard_for(id);
+        let mut service = shard.service.lock();
+        self.drain_ring(shard, &mut service);
+        service.close_session(self.localize(id))
+    }
+
+    /// Number of currently open sessions across all shards.
+    pub fn num_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.service.lock().num_sessions())
+            .sum()
+    }
+
+    /// Live pump worker threads across all shards.
+    pub fn pool_workers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.service.lock().pool_workers())
+            .sum()
+    }
+
+    /// Total pump worker threads ever spawned across all shards.
+    pub fn workers_spawned(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.service.lock().workers_spawned())
+            .sum()
+    }
+
+    /// Ingest accounting of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn shard_stats(&self, shard: usize) -> ShardStats {
+        self.shards[shard].stats()
+    }
+
+    /// Ingest accounting summed over all shards.
+    pub fn total_stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for shard in &self.shards {
+            total.accumulate(shard.stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceBackend;
+    use qecool_sfq::budget::CycleBudget;
+    use qecool_surface_code::{CodePatch, PhenomenologicalNoise};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fabric(shards: usize, threads: usize) -> ShardedDecodeService {
+        let service = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+            .with_threads(threads);
+        ShardedDecodeService::new(ShardedServiceConfig::new(service, shards)).unwrap()
+    }
+
+    /// The fabric must be shareable across producer threads.
+    #[test]
+    fn fabric_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ShardedDecodeService>();
+    }
+
+    #[test]
+    fn sessions_spread_across_shards_and_ids_stay_unique() {
+        let fabric = fabric(4, 1);
+        let ids: Vec<SessionId> = (0..16).map(|_| fabric.open_session()).collect();
+        let unique: std::collections::HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "global ids must not collide");
+        for shard in 0..4 {
+            assert_eq!(
+                ids.iter().filter(|id| id.shard_of(4) == shard).count(),
+                4,
+                "round-robin placement: 4 of 16 sessions per shard"
+            );
+        }
+        assert_eq!(fabric.num_sessions(), 16);
+    }
+
+    /// One session served through the fabric matches the same stream
+    /// through a solo service, whatever the shard count.
+    #[test]
+    fn sharded_sessions_match_the_solo_service() {
+        let lattice = Lattice::new(5).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        let sessions = 6usize;
+        let rounds = 5usize;
+
+        let streams: Vec<Vec<DetectionRound>> = (0..sessions)
+            .map(|s| {
+                let mut patch = CodePatch::new(lattice.clone());
+                let mut rng = ChaCha8Rng::seed_from_u64(300 + s as u64);
+                let mut v: Vec<DetectionRound> = (0..rounds)
+                    .map(|_| patch.noisy_round(&noise, &mut rng))
+                    .collect();
+                v.push(patch.perfect_round());
+                v
+            })
+            .collect();
+
+        let reference: Vec<Vec<Edge>> = {
+            let config =
+                ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+                    .with_threads(1);
+            let mut service = DecodeService::new(config).unwrap();
+            streams
+                .iter()
+                .map(|stream| {
+                    let id = service.open_session();
+                    let mut all = Vec::new();
+                    for round in stream {
+                        service.push_round(id, round).unwrap();
+                        all.extend(service.poll_corrections(id).unwrap().iter().copied());
+                    }
+                    all.extend(service.close_session(id).unwrap().corrections);
+                    all
+                })
+                .collect()
+        };
+
+        for shards in [1usize, 2, 4] {
+            let fabric = fabric(shards, 2);
+            let ids: Vec<SessionId> = (0..sessions).map(|_| fabric.open_session()).collect();
+            let mut collected: Vec<Vec<Edge>> = vec![Vec::new(); sessions];
+            // `r` cuts across all session streams at one round index, so
+            // a range loop reads more naturally than a zipped iterator.
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..=rounds {
+                fabric.push_rounds((0..sessions).map(|s| (ids[s], &streams[s][r])));
+                fabric.pump();
+                for s in 0..sessions {
+                    collected[s].extend(fabric.poll_corrections(ids[s]).unwrap());
+                }
+            }
+            for s in 0..sessions {
+                collected[s].extend(fabric.close_session(ids[s]).unwrap().corrections);
+                assert_eq!(
+                    collected[s], reference[s],
+                    "session {s} diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_handles_are_rejected_per_shard() {
+        let fabric = fabric(2, 1);
+        let id = fabric.open_session();
+        fabric.close_session(id).unwrap();
+        assert_eq!(
+            fabric.poll_corrections(id).unwrap_err(),
+            ServiceError::UnknownSession
+        );
+        assert_eq!(
+            fabric.latency(id).unwrap_err(),
+            ServiceError::UnknownSession
+        );
+        assert!(fabric.close_session(id).is_err());
+        // A push to the stale handle is fire-and-forget: accepted into
+        // the ring, discarded and accounted at drain.
+        let round = DetectionRound::zeros(Lattice::new(5).unwrap().num_ancillas());
+        fabric.push_round(id, &round);
+        fabric.pump();
+        let stats = fabric.shard_stats(id.shard_of(2) as usize);
+        assert_eq!(stats.dropped, 1, "stale-handle round must be counted");
+        // The recycled slot gets a fresh generation and works.
+        let recycled = fabric.open_session();
+        assert_ne!(recycled, id);
+        assert!(fabric.poll_corrections(recycled).is_ok());
+    }
+
+    #[test]
+    fn full_ring_backpressure_drains_inline_without_losing_rounds() {
+        let service = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+            .with_threads(1);
+        // A 2-slot ring: the third push of a batch must stall, drain and
+        // still deliver every round in order.
+        let fabric =
+            ShardedDecodeService::new(ShardedServiceConfig::new(service, 1).with_ring_capacity(2))
+                .unwrap();
+        let lattice = Lattice::new(5).unwrap();
+        let id = fabric.open_session();
+        let mut patch = CodePatch::new(lattice.clone());
+        let noise = PhenomenologicalNoise::symmetric(0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..10 {
+            let round = patch.noisy_round(&noise, &mut rng);
+            fabric.push_round(id, &round);
+        }
+        let stats = fabric.shard_stats(0);
+        assert!(stats.stalls > 0, "a 2-slot ring must backpressure");
+        let report = fabric.close_session(id).unwrap();
+        assert_eq!(report.rounds_ingested, 10, "backpressure must not drop");
+        assert_eq!(report.rounds_dropped, 0);
+        let stats = fabric.shard_stats(0);
+        assert_eq!(stats.drained, 10);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn try_push_reports_backpressure_instead_of_draining() {
+        let service = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+            .with_threads(1);
+        let fabric =
+            ShardedDecodeService::new(ShardedServiceConfig::new(service, 1).with_ring_capacity(2))
+                .unwrap();
+        let id = fabric.open_session();
+        let round = DetectionRound::zeros(Lattice::new(5).unwrap().num_ancillas());
+        assert!(fabric.try_push_round(id, &round).is_ok());
+        assert!(fabric.try_push_round(id, &round).is_ok());
+        assert_eq!(
+            fabric.try_push_round(id, &round),
+            Err(ServiceError::Backpressure)
+        );
+        // A pump makes room again.
+        fabric.pump();
+        assert!(fabric.try_push_round(id, &round).is_ok());
+    }
+
+    #[test]
+    fn concurrent_producers_feed_disjoint_sessions_deterministically() {
+        // 4 producer threads × 2 sessions each, pushed lock-free into a
+        // 2-shard fabric while the main thread pumps; the result must
+        // equal the single-threaded serve of the same streams.
+        let lattice = Lattice::new(5).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        let sessions = 8usize;
+        let rounds = 12usize;
+        let streams: Vec<Vec<DetectionRound>> = (0..sessions)
+            .map(|s| {
+                let mut patch = CodePatch::new(lattice.clone());
+                let mut rng = ChaCha8Rng::seed_from_u64(990 + s as u64);
+                (0..rounds)
+                    .map(|_| patch.noisy_round(&noise, &mut rng))
+                    .collect()
+            })
+            .collect();
+
+        let serve = |concurrent: bool| -> Vec<Vec<Edge>> {
+            let fabric = fabric(2, 2);
+            let ids: Vec<SessionId> = (0..sessions).map(|_| fabric.open_session()).collect();
+            if concurrent {
+                std::thread::scope(|scope| {
+                    for p in 0..4 {
+                        let fabric = &fabric;
+                        let ids = &ids;
+                        let streams = &streams;
+                        scope.spawn(move || {
+                            for s in (0..sessions).filter(|s| s % 4 == p) {
+                                for round in &streams[s] {
+                                    fabric.push_round(ids[s], round);
+                                }
+                            }
+                        });
+                    }
+                    // Pump concurrently with the producers; correctness
+                    // must not depend on the interleaving.
+                    for _ in 0..8 {
+                        fabric.pump();
+                        std::thread::yield_now();
+                    }
+                });
+            } else {
+                for s in 0..sessions {
+                    for round in &streams[s] {
+                        fabric.push_round(ids[s], round);
+                    }
+                }
+            }
+            fabric.pump();
+            (0..sessions)
+                .map(|s| fabric.close_session(ids[s]).unwrap().corrections)
+                .collect()
+        };
+
+        let reference = serve(false);
+        for attempt in 0..3 {
+            assert_eq!(serve(true), reference, "attempt {attempt} diverged");
+        }
+    }
+}

@@ -32,3 +32,4 @@ pub use qecool_sim::service::{
     DecodeService, LatencyStats, ServiceBackend, ServiceConfig, ServiceError, SessionId,
     SessionReport,
 };
+pub use qecool_sim::shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};

@@ -5,7 +5,10 @@ use qecool_repro::sim::{
     run_monte_carlo, run_trial, DecodeEngine, DecoderKind, EngineConfig, McResult, TrialConfig,
 };
 use qecool_repro::surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
-use qecool_repro::{CycleBudget, DecodeService, ServiceBackend, ServiceConfig, SessionId};
+use qecool_repro::{
+    CycleBudget, DecodeService, ServiceBackend, ServiceConfig, SessionId, ShardedDecodeService,
+    ShardedServiceConfig,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -141,6 +144,63 @@ fn service_sessions_identical_across_worker_counts() {
     let reference = run(1);
     for threads in [2usize, 8] {
         assert_eq!(run(threads), reference, "{threads} pump workers");
+    }
+}
+
+/// The sharded fabric keeps the same purity guarantee across BOTH tuning
+/// knobs at once: per-session corrections are a pure function of the
+/// round stream, independent of how many shards the fabric splits into
+/// and how many pump workers each shard's pool runs. This is the
+/// byte-identity the `--shards` CI matrix leg holds release binaries to.
+#[test]
+fn sharded_sessions_identical_across_shard_and_worker_counts() {
+    let sessions = 6usize;
+    let rounds = 5usize;
+    let lattice = Lattice::new(5).unwrap();
+    let noise = PhenomenologicalNoise::symmetric(0.04);
+
+    let run = |shards: usize, threads: usize| -> Vec<Vec<Edge>> {
+        let config = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+            .with_threads(threads);
+        let service = ShardedDecodeService::new(ShardedServiceConfig::new(config, shards)).unwrap();
+        let ids: Vec<SessionId> = (0..sessions).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..sessions)
+            .map(|_| CodePatch::new(lattice.clone()))
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..sessions)
+            .map(|s| ChaCha8Rng::seed_from_u64(4242 + s as u64))
+            .collect();
+        let mut collected: Vec<Vec<Edge>> = vec![Vec::new(); sessions];
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        for _ in 0..rounds {
+            for s in 0..sessions {
+                patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
+                service.push_round(ids[s], &round);
+            }
+            service.pump();
+            for s in 0..sessions {
+                let fresh = service.poll_corrections(ids[s]).unwrap();
+                patches[s].apply_corrections(fresh.iter().copied());
+                collected[s].extend(fresh);
+            }
+        }
+        for s in 0..sessions {
+            patches[s].perfect_round_into(&mut round);
+            service.push_round(ids[s], &round);
+            collected[s].extend(service.close_session(ids[s]).unwrap().corrections);
+        }
+        collected
+    };
+
+    let reference = run(1, 1);
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                run(shards, threads),
+                reference,
+                "{shards} shards x {threads} pump workers"
+            );
+        }
     }
 }
 

@@ -8,7 +8,10 @@ use qecool_repro::sim::{run_trial, DecoderKind, TrialConfig};
 use qecool_repro::surface_code::{
     CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise, SyndromeHistory,
 };
-use qecool_repro::{CycleBudget, DecodeService, ServiceBackend, ServiceConfig};
+use qecool_repro::{
+    CycleBudget, DecodeService, ServiceBackend, ServiceConfig, ServiceError, ShardedDecodeService,
+    ShardedServiceConfig,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -154,4 +157,143 @@ fn windowed_sessions_match_offline_window_decoders() {
             assert_eq!(report.corrections, offline, "{backend:?} seed {seed}");
         }
     }
+}
+
+/// A starved budget (1 cycle/round) with an event-bearing stream: the
+/// decoder falls behind and the registers must overflow.
+fn starved_config(threads: usize) -> ServiceConfig {
+    ServiceConfig::new(D, ServiceBackend::Qecool, CycleBudget::new(1.0, 1.0)).with_threads(threads)
+}
+
+/// Overflowed-session lifecycle on the **solo service fast path** (one
+/// session, single-threaded — the pump never consults the worker pool):
+/// poll errors with [`ServiceError::Overflowed`], close still succeeds
+/// and reports the failure with corrections withdrawn, and the stale
+/// handle is rejected afterwards.
+#[test]
+fn overflowed_session_lifecycle_on_the_solo_fast_path() {
+    let mut service = DecodeService::new(starved_config(1)).unwrap();
+    let id = service.open_session();
+    let lattice = Lattice::new(D).unwrap();
+    let mut patch = CodePatch::new(lattice.clone());
+    let noise = PhenomenologicalNoise::symmetric(0.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    let mut round = DetectionRound::zeros(lattice.num_ancillas());
+    for _ in 0..40 {
+        patch.noisy_round_into(&noise, &mut rng, &mut round);
+        if service.push_round(id, &round).is_err() {
+            break;
+        }
+        service.pump();
+        if service.poll_corrections(id).is_err() {
+            break;
+        }
+    }
+    assert!(
+        service.is_overflowed(id).unwrap(),
+        "starved budget should overflow the registers"
+    );
+    assert!(matches!(
+        service.poll_corrections(id),
+        Err(ServiceError::Overflowed)
+    ));
+    assert_eq!(service.pool_workers(), 0, "fast path must stay pool-free");
+
+    let report = service.close_session(id).unwrap();
+    assert!(report.overflowed);
+    assert!(
+        report.corrections.is_empty(),
+        "a failed stream's corrections are withdrawn"
+    );
+    // The handle died with the session: every entry point rejects it.
+    assert!(matches!(
+        service.poll_corrections(id),
+        Err(ServiceError::UnknownSession)
+    ));
+    assert!(matches!(
+        service.push_round(id, &round),
+        Err(ServiceError::UnknownSession)
+    ));
+    assert!(matches!(
+        service.close_session(id),
+        Err(ServiceError::UnknownSession)
+    ));
+}
+
+/// The same lifecycle through the **sharded fabric with a real worker
+/// pool**: ring ingest is fire-and-forget, so the overflow surfaces at
+/// poll, post-overflow pushes drain into drop accounting instead of
+/// vanishing, and the close report carries both verdict and drop count.
+#[test]
+fn overflowed_session_lifecycle_through_the_sharded_pool() {
+    let config = ShardedServiceConfig::new(starved_config(4), 2);
+    let service = ShardedDecodeService::new(config).unwrap();
+    // A healthy neighbour session keeps its shard's pool busy and must
+    // be unaffected by the other session's failure.
+    let doomed = service.open_session();
+    let healthy = service.open_session();
+    let lattice = Lattice::new(D).unwrap();
+    let mut patch = CodePatch::new(lattice.clone());
+    let noise = PhenomenologicalNoise::symmetric(0.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    let quiet = DetectionRound::zeros(lattice.num_ancillas());
+    let mut round = quiet.clone();
+    let mut overflow_seen = false;
+    for i in 0..40 {
+        patch.noisy_round_into(&noise, &mut rng, &mut round);
+        service.push_round(doomed, &round);
+        // The neighbour gets a stream short enough to stay inside its
+        // registers — on a starved service *any* long stream overflows.
+        if i < 3 {
+            service.push_round(healthy, &quiet);
+        }
+        service.pump();
+        assert!(service.poll_corrections(healthy).is_ok());
+        if service.poll_corrections(doomed).is_err() {
+            overflow_seen = true;
+            break;
+        }
+    }
+    assert!(
+        overflow_seen,
+        "starved budget should overflow the registers"
+    );
+    assert!(service.is_overflowed(doomed).unwrap());
+    assert!(matches!(
+        service.poll_corrections(doomed),
+        Err(ServiceError::Overflowed)
+    ));
+
+    // Post-overflow rounds are fire-and-forget into the ring; they must
+    // surface as drops in the close report, not vanish.
+    let extra_rounds = 5u64;
+    for _ in 0..extra_rounds {
+        service.push_round(doomed, &round);
+    }
+    let report = service.close_session(doomed).unwrap();
+    assert!(report.overflowed);
+    assert!(report.corrections.is_empty());
+    assert!(
+        report.rounds_dropped >= extra_rounds,
+        "expected at least {extra_rounds} accounted drops, got {}",
+        report.rounds_dropped
+    );
+    assert!(service.total_stats().dropped >= extra_rounds);
+
+    // Stale handle: rejected at every entry point that can answer.
+    assert!(matches!(
+        service.poll_corrections(doomed),
+        Err(ServiceError::UnknownSession)
+    ));
+    assert!(matches!(
+        service.close_session(doomed),
+        Err(ServiceError::UnknownSession)
+    ));
+
+    // The neighbour is untouched by the failure and closes cleanly.
+    let report = service.close_session(healthy).unwrap();
+    assert!(!report.overflowed);
+    assert_eq!(report.rounds_dropped, 0);
 }
