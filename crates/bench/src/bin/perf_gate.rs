@@ -11,7 +11,8 @@
 //!
 //! Records are joined by `name`, and besides throughput the gate also
 //! floors every [`qecool_bench::perf::gate::GATED_EXTRAS`] metric the
-//! baseline record carries (`sessions_per_core`, `ingest_rounds_per_sec`).
+//! baseline record carries (`ingest_rounds_per_sec`; configuration
+//! echoes like `sessions_per_core` ride along uncompared).
 //! A candidate with no baseline entry is reported and passes (new
 //! benchmarks should not need a lockstep baseline update); a **baseline
 //! entry with no candidate fails** — a benchmark vanishing from the run

@@ -376,7 +376,13 @@ pub mod perf {
         /// throughput) whenever the **baseline** record carries them.
         /// Adding a key here + a baseline value turns a bench extra into
         /// a gated metric; candidates must then keep emitting it.
-        pub const GATED_EXTRAS: &[&str] = &["sessions_per_core", "ingest_rounds_per_sec"];
+        ///
+        /// Only *measured* quantities belong here. Configuration echoes
+        /// like `sessions_per_core` (sessions ÷ worker budget — pure
+        /// flag arithmetic that "regresses" only when bench flags
+        /// change, and depends on the runner's core count under
+        /// `--threads 0`) stay informational extras.
+        pub const GATED_EXTRAS: &[&str] = &["ingest_rounds_per_sec"];
 
         /// One compared metric, ready for table rendering.
         #[derive(Debug, Clone, PartialEq)]
@@ -784,7 +790,7 @@ mod tests {
             .with("sessions_per_core", 100.0)
             .with("ingest_rounds_per_sec", 20000.0)];
         let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
-        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows.len(), 2);
         assert_eq!(report.failures, 1);
         let ingest = report
             .rows
@@ -792,31 +798,32 @@ mod tests {
             .find(|r| r.metric == "ingest_rounds_per_sec")
             .unwrap();
         assert!(ingest.failed);
+        // A configuration echo, not a measurement: never a gate row,
+        // even when both sides carry it.
         assert!(
-            !report
-                .rows
-                .iter()
-                .find(|r| r.metric == "sessions_per_core")
-                .unwrap()
-                .failed
+            !report.rows.iter().any(|r| r.metric == "sessions_per_core"),
+            "sessions_per_core must stay informational"
         );
     }
 
     #[test]
     fn gate_rejects_a_candidate_missing_a_gated_extra() {
-        let baseline = vec![perf::BenchRecord::new("svc", 1000.0).with("sessions_per_core", 100.0)];
+        let baseline =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("ingest_rounds_per_sec", 50000.0)];
         let candidate = vec![perf::BenchRecord::new("svc", 1000.0)];
         let err = perf::gate::compare(&baseline, &candidate, 20.0).unwrap_err();
         assert!(
-            err.contains("sessions_per_core"),
+            err.contains("ingest_rounds_per_sec"),
             "error should name the missing metric: {err}"
         );
     }
 
     #[test]
     fn gate_rejects_a_zero_baseline_extra() {
-        let baseline = vec![perf::BenchRecord::new("svc", 1000.0).with("sessions_per_core", 0.0)];
-        let candidate = vec![perf::BenchRecord::new("svc", 1000.0).with("sessions_per_core", 90.0)];
+        let baseline =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("ingest_rounds_per_sec", 0.0)];
+        let candidate =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("ingest_rounds_per_sec", 90.0)];
         assert!(perf::gate::compare(&baseline, &candidate, 20.0).is_err());
     }
 

@@ -60,6 +60,23 @@ struct SlotPayload {
     round: DetectionRound,
 }
 
+/// Drop guard that hands a drained slot to the producer one lap ahead.
+/// The release side of [`IngestRing::pop_with`] lives in a guard so it
+/// runs even when the consumer's callback unwinds — otherwise a single
+/// panicking consumer would leave the sequence stuck forever, every
+/// later pop would report the slot unpublished, and producers would
+/// eventually stall on a permanently wedged ring.
+struct SlotRelease<'a> {
+    sequence: &'a AtomicUsize,
+    next: usize,
+}
+
+impl Drop for SlotRelease<'_> {
+    fn drop(&mut self) {
+        self.sequence.store(self.next, Ordering::Release);
+    }
+}
+
 #[derive(Debug)]
 struct Slot {
     /// The ticket of the operation allowed to touch this slot next:
@@ -187,14 +204,29 @@ impl IngestRing {
 
     /// Dequeues the oldest round, if any, handing `f` a borrow of the
     /// slot's buffer (one copy total between producer and service). The
-    /// slot is released for reuse after `f` returns.
+    /// slot is released for reuse after `f` returns — even when `f`
+    /// panics (a drop guard advances the sequence so an unwinding
+    /// consumer cannot wedge the slot).
+    ///
+    /// Returns `None` only when the ring is **truly empty**: a slot a
+    /// producer has claimed (tail moved past it) but not yet published
+    /// is *in flight*, not empty, and this waits for the publish —
+    /// spinning briefly, then yielding — instead of giving up. Stopping
+    /// at an in-flight slot would let a drain-until-`None` loop conclude
+    /// the ring is drained while rounds whose pushes *already returned*
+    /// sit queued behind the stalled slot, breaking the per-session FIFO
+    /// and drain-before-close guarantees the sharded service builds on.
+    /// The wait is bounded by the in-flight producer's payload copy (a
+    /// few word writes), which it performs without holding any lock.
     pub fn pop_with<R>(&self, f: impl FnOnce(SessionId, &DetectionRound) -> R) -> Option<R> {
         let mut pos = self.head.0.load(Ordering::Relaxed);
+        let mut spins = 0u32;
         loop {
             let slot = &self.slots[pos & self.mask];
             let seq = slot.sequence.load(Ordering::Acquire);
             // `seq == pos + 1`: filled and ours to drain. `seq <= pos`:
-            // nothing published here yet — empty. Otherwise another
+            // nothing published at this ticket — empty or in flight,
+            // disambiguated by the tail below. Otherwise another
             // consumer raced us; retry from the fresh head.
             if seq == pos + 1 {
                 match self.head.0.compare_exchange_weak(
@@ -204,18 +236,37 @@ impl IngestRing {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // The guard hands the slot to the producer one
+                        // lap ahead. Declared before the payload lock:
+                        // drops run in reverse order, so the payload
+                        // unlocks before the sequence releases the slot,
+                        // keeping the "never contended" invariant even
+                        // on the unwind path.
+                        let release = SlotRelease {
+                            sequence: &slot.sequence,
+                            next: pos + self.slots.len(),
+                        };
                         let payload = slot.payload.lock();
                         let result = f(payload.session, &payload.round);
                         drop(payload);
-                        // Hand the slot to the producer one lap ahead.
-                        slot.sequence
-                            .store(pos + self.slots.len(), Ordering::Release);
+                        drop(release);
                         return Some(result);
                     }
                     Err(observed) => pos = observed,
                 }
             } else if seq <= pos {
-                return None;
+                if self.tail.0.load(Ordering::Acquire) <= pos {
+                    // Tail has not passed this ticket: truly empty.
+                    return None;
+                }
+                // A producer owns ticket `pos` but has not published
+                // yet; wait for its copy to land.
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             } else {
                 pos = self.head.0.load(Ordering::Relaxed);
             }
@@ -297,6 +348,96 @@ mod tests {
     fn mismatched_width_is_rejected() {
         let ring = IngestRing::new(4, 8);
         let _ = ring.try_push(sid(0), &DetectionRound::zeros(16));
+    }
+
+    #[test]
+    fn panicking_consumer_releases_the_slot() {
+        let ring = IngestRing::new(4, 8);
+        ring.try_push(sid(1), &round_with(8, 1)).unwrap();
+        ring.try_push(sid(2), &round_with(8, 2)).unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ring.pop_with(|_, _| -> () { panic!("consumer died mid-callback") })
+        }));
+        assert!(outcome.is_err(), "the panic must propagate");
+        // The panicked pop still consumed its round and released the
+        // slot; the rest of the queue drains normally...
+        let got = ring.pop_with(|s, r| (s, r.fired_indices())).unwrap();
+        assert_eq!(got, (sid(2), vec![2]));
+        assert!(ring.pop_with(|_, _| ()).is_none());
+        // ...and a full lap re-fills the released slots.
+        for i in 0..4 {
+            ring.try_push(sid(10 + i), &round_with(8, 0)).unwrap();
+        }
+        assert_eq!(ring.len(), 4);
+    }
+
+    /// The drain-before-close guarantee: a `pop_with` loop that runs to
+    /// `None` must have delivered every round whose push returned before
+    /// the loop began, even when other producers' claimed-but-unpublished
+    /// slots sit between those rounds and the head. The old
+    /// stop-at-unpublished behaviour fails this stochastically.
+    #[test]
+    fn drain_until_none_never_misses_rounds_published_before_the_drain() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let ring = Arc::new(IngestRing::new(8, 16));
+        let published = Arc::new(AtomicUsize::new(0));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let per_producer = 10_000usize;
+        let mut handles = Vec::new();
+        // The tracked producer: session 0, counted after each push
+        // returns, so `published` is a floor on what a subsequent full
+        // drain must deliver.
+        {
+            let ring = Arc::clone(&ring);
+            let published = Arc::clone(&published);
+            let finished = Arc::clone(&finished);
+            handles.push(std::thread::spawn(move || {
+                let round = DetectionRound::zeros(16);
+                for _ in 0..per_producer {
+                    while ring.try_push(sid(0), &round).is_err() {
+                        std::thread::yield_now();
+                    }
+                    published.fetch_add(1, Ordering::Release);
+                }
+                finished.fetch_add(1, Ordering::Release);
+            }));
+        }
+        // Noise producers keep claimed-but-unpublished windows open at
+        // arbitrary ring positions.
+        for p in 1..3u32 {
+            let ring = Arc::clone(&ring);
+            let finished = Arc::clone(&finished);
+            handles.push(std::thread::spawn(move || {
+                let round = DetectionRound::zeros(16);
+                for _ in 0..per_producer {
+                    while ring.try_push(sid(p), &round).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+                finished.fetch_add(1, Ordering::Release);
+            }));
+        }
+        let mut seen_session0 = 0usize;
+        loop {
+            let floor = published.load(Ordering::Acquire);
+            while let Some(tracked) = ring.pop_with(|s, _| s == sid(0)) {
+                seen_session0 += usize::from(tracked);
+            }
+            assert!(
+                seen_session0 >= floor,
+                "drain stopped early: saw {seen_session0} tracked rounds, \
+                 {floor} pushes had already returned"
+            );
+            if finished.load(Ordering::Acquire) == 3 && ring.is_empty() {
+                break;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen_session0, per_producer);
     }
 
     #[test]

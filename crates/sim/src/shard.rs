@@ -28,7 +28,9 @@
 //!   [`ShardStats::dropped`] only (there is no session to bill).
 //! * A full ring exerts **backpressure**: the blocking push drains the
 //!   ring into the shard inline (paying the latency on the producer,
-//!   counted in [`ShardStats::stalls`]) and never drops;
+//!   counted in [`ShardStats::stalls`]), then re-offers the round to the
+//!   ring — never around it, so per-session FIFO survives — and never
+//!   drops;
 //!   [`ShardedDecodeService::try_push_round`] instead returns
 //!   [`ServiceError::Backpressure`] and lets the caller choose.
 //!
@@ -58,7 +60,10 @@ pub struct ShardedServiceConfig {
     /// Configuration every shard's [`DecodeService`] is built from. Its
     /// `threads` field is the **total** worker budget: it is divided
     /// across shards (at least one worker each) so `--shards` does not
-    /// multiply the thread count.
+    /// multiply the thread count. The one-worker-per-shard minimum means
+    /// a fabric with more shards than budgeted threads can still spawn
+    /// up to `shards` workers;
+    /// [`ShardedDecodeService::pool_workers`] reports the actual count.
     pub service: ServiceConfig,
     /// Number of service shards (≥ 1).
     pub shards: usize,
@@ -239,8 +244,8 @@ impl ShardedDecodeService {
         self.globalize(local, shard)
     }
 
-    /// Delivers one ring (or fallback) round into the shard's service,
-    /// with drop accounting. Caller holds the shard's service lock.
+    /// Delivers one drained ring round into the shard's service, with
+    /// drop accounting. Caller holds the shard's service lock.
     fn deliver(
         &self,
         shard: &Shard,
@@ -292,13 +297,28 @@ impl ShardedDecodeService {
     pub fn push_round(&self, id: SessionId, round: &DetectionRound) {
         let shard = self.shard_for(id);
         shard.enqueued.fetch_add(1, Ordering::Relaxed);
-        if shard.ring.try_push(id, round).is_err() {
-            // Backpressure: the producer pays the drain, keeping
-            // per-session arrival order (ring first, this round after).
-            shard.stalls.fetch_add(1, Ordering::Relaxed);
-            let mut service = shard.service.lock();
-            self.drain_ring(shard, &mut service);
-            self.deliver(shard, &mut service, id, round);
+        if shard.ring.try_push(id, round).is_ok() {
+            return;
+        }
+        // Backpressure: the producer pays for draining the ring into the
+        // shard, then re-offers the round — to the *ring*, never to the
+        // service directly. Every round must travel through the ring:
+        // delivering this one straight to the service would let it
+        // overtake an earlier round of the same session still queued in
+        // the ring, violating per-session FIFO (and with it the
+        // byte-identical determinism guarantee).
+        shard.stalls.fetch_add(1, Ordering::Relaxed);
+        loop {
+            {
+                let mut service = shard.service.lock();
+                self.drain_ring(shard, &mut service);
+            }
+            if shard.ring.try_push(id, round).is_ok() {
+                return;
+            }
+            // Other producers refilled the ring between our drain and
+            // push; yield and go again.
+            std::thread::yield_now();
         }
     }
 
@@ -629,6 +649,72 @@ mod tests {
         // A pump makes room again.
         fabric.pump();
         assert!(fabric.try_push_round(id, &round).is_ok());
+    }
+
+    /// Regression for the backpressure fallback reordering a session's
+    /// rounds: with a 2-slot ring and several concurrent producers the
+    /// fallback fires constantly while other producers' pushes are in
+    /// flight, so a fallback that bypassed the ring (or a drain that
+    /// stopped at a claimed-but-unpublished slot) would deliver rounds
+    /// out of per-session order and diverge from the sequential serve.
+    #[test]
+    fn backpressure_fallback_preserves_per_session_fifo_under_contention() {
+        let lattice = Lattice::new(5).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        let sessions = 4usize;
+        let rounds = 16usize;
+        let streams: Vec<Vec<DetectionRound>> = (0..sessions)
+            .map(|s| {
+                let mut patch = CodePatch::new(lattice.clone());
+                let mut rng = ChaCha8Rng::seed_from_u64(4400 + s as u64);
+                (0..rounds)
+                    .map(|_| patch.noisy_round(&noise, &mut rng))
+                    .collect()
+            })
+            .collect();
+
+        let serve = |concurrent: bool| -> Vec<Vec<Edge>> {
+            let service =
+                ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+                    .with_threads(2);
+            let fabric = ShardedDecodeService::new(
+                ShardedServiceConfig::new(service, 1).with_ring_capacity(2),
+            )
+            .unwrap();
+            let ids: Vec<SessionId> = (0..sessions).map(|_| fabric.open_session()).collect();
+            if concurrent {
+                std::thread::scope(|scope| {
+                    for (s, id) in ids.iter().enumerate() {
+                        let fabric = &fabric;
+                        let stream = &streams[s];
+                        scope.spawn(move || {
+                            for round in stream {
+                                fabric.push_round(*id, round);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (s, id) in ids.iter().enumerate() {
+                    for round in &streams[s] {
+                        fabric.push_round(*id, round);
+                    }
+                }
+            }
+            fabric.pump();
+            assert!(
+                !concurrent || fabric.shard_stats(0).stalls > 0,
+                "a 2-slot ring under 4 producers must exercise the fallback"
+            );
+            (0..sessions)
+                .map(|s| fabric.close_session(ids[s]).unwrap().corrections)
+                .collect()
+        };
+
+        let reference = serve(false);
+        for attempt in 0..5 {
+            assert_eq!(serve(true), reference, "attempt {attempt} diverged");
+        }
     }
 
     #[test]
