@@ -12,7 +12,11 @@
 //! Records are joined by `name`, and besides throughput the gate also
 //! floors every [`qecool_bench::perf::gate::GATED_EXTRAS`] metric the
 //! baseline record carries (`ingest_rounds_per_sec`; configuration
-//! echoes like `sessions_per_core` ride along uncompared).
+//! echoes like `sessions_per_core` ride along uncompared). Metrics in
+//! [`qecool_bench::perf::gate::ABS_FLOOR_EXTRAS`] are floored at a
+//! fixed constant instead of the baseline value — that is how the
+//! telemetry-overhead criterion (`telemetry_throughput_ratio` ≥ 0.90)
+//! is enforced.
 //! A candidate with no baseline entry is reported and passes (new
 //! benchmarks should not need a lockstep baseline update); a **baseline
 //! entry with no candidate fails** — a benchmark vanishing from the run
@@ -89,6 +93,9 @@ fn load(path: &str) -> Vec<BenchRecord> {
 
 fn render_cell(value: Option<f64>) -> String {
     match value {
+        // Ratio-scale metrics (telemetry_throughput_ratio's 0.90 floor)
+        // would all render as "1" at integer precision.
+        Some(v) if v.abs() < 10.0 => format!("{v:.3}"),
         Some(v) => format!("{v:.0}"),
         None => "-".to_owned(),
     }

@@ -10,31 +10,48 @@
 //! applies them — the steady-state serving loop. Reported: wall-clock
 //! throughput (rounds/s across all sessions), ring-ingest rate,
 //! session density per worker, decode-cycle latency against the
-//! per-round budget, and a per-session report digest — the digest is a
-//! pure function of every session's correction stream and close report,
-//! so `--shards 4` and `--shards 1` runs must print the same value.
+//! per-round budget, per-shard ingest accounting, and a per-session
+//! report digest — the digest is a pure function of every session's
+//! correction stream and close report, so `--shards 4` and `--shards 1`
+//! runs must print the same value (with or without telemetry).
+//!
+//! With `--metrics` / `--metrics-json`, the run enables the fabric's
+//! telemetry layer and writes a metrics snapshot — Prometheus text
+//! and/or the flat-JSON perf-record shape — taken right after the
+//! serving loop, *before* sessions close, so gauges like
+//! `qecool_sessions_open` show the steady serving state.
+//! `--metrics-interval-ms` additionally re-emits to the same target(s)
+//! periodically while the loop runs. With `--json`, the bench also
+//! measures the telemetry overhead (paired enabled/disabled arms) and
+//! emits `telemetry_throughput_ratio` for the perf gate's absolute
+//! floor.
 //!
 //! ```text
 //! cargo run --release -p qecool-bench --bin service_bench -- \
 //!     [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
 //!     [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
-//!     [--json FILE]
+//!     [--json FILE] [--metrics FILE|-] [--metrics-json FILE|-] \
+//!     [--metrics-interval-ms MS]
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qecool_bench::{
     parse_ghz, parse_or_die, parse_threads, perf::write_records, perf::BenchRecord, require_value,
     usage_error, TextTable,
 };
+use qecool_obs::{Snapshot, TelemetryHandle};
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
 use qecool_sim::ring::IngestRing;
-use qecool_sim::service::{ServiceBackend, ServiceConfig, SessionId};
-use qecool_sim::shard::{ShardedDecodeService, ShardedServiceConfig};
+use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId};
+use qecool_sim::shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
 use qecool_surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+#[derive(Clone)]
 struct BenchOptions {
     sessions: usize,
     rounds: usize,
@@ -46,6 +63,12 @@ struct BenchOptions {
     backend: ServiceBackend,
     seed: u64,
     json: Option<String>,
+    /// Prometheus-text snapshot target (`-` = stdout).
+    metrics: Option<String>,
+    /// Flat-JSON snapshot target (`-` = stdout).
+    metrics_json: Option<String>,
+    /// Periodic re-emission interval; 0 = final snapshot only.
+    metrics_interval_ms: u64,
 }
 
 impl BenchOptions {
@@ -61,6 +84,9 @@ impl BenchOptions {
             backend: ServiceBackend::Qecool,
             seed: 2021,
             json: None,
+            metrics: None,
+            metrics_json: None,
+            metrics_interval_ms: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -122,18 +148,38 @@ impl BenchOptions {
                     opts.rounds = 40;
                 }
                 "--json" => opts.json = Some(require_value(&mut args, "--json")),
+                "--metrics" => opts.metrics = Some(require_value(&mut args, "--metrics")),
+                "--metrics-json" => {
+                    opts.metrics_json = Some(require_value(&mut args, "--metrics-json"));
+                }
+                "--metrics-interval-ms" => {
+                    let v = require_value(&mut args, "--metrics-interval-ms");
+                    opts.metrics_interval_ms =
+                        parse_or_die(&v, "--metrics-interval-ms", "a positive integer");
+                    if opts.metrics_interval_ms == 0 {
+                        usage_error("--metrics-interval-ms must be >= 1");
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
                          [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
-                         [--json FILE]"
+                         [--json FILE] [--metrics FILE|-] [--metrics-json FILE|-] \
+                         [--metrics-interval-ms MS]"
                     );
                     std::process::exit(0);
                 }
                 other => usage_error(&format!("unknown argument: {other}")),
             }
         }
+        if opts.metrics_interval_ms > 0 && opts.metrics.is_none() && opts.metrics_json.is_none() {
+            usage_error("--metrics-interval-ms needs --metrics and/or --metrics-json");
+        }
         opts
+    }
+
+    fn telemetry_requested(&self) -> bool {
+        self.metrics.is_some() || self.metrics_json.is_some()
     }
 }
 
@@ -171,7 +217,8 @@ impl Digest {
 /// so timer overhead and scheduler noise amortise away. Timing the
 /// serving loop's few thousand pushes with per-batch `Instant` pairs
 /// made the gated `ingest_rounds_per_sec` metric a ~1 ms measurement
-/// that flaked on shared CI runners.
+/// that flaked on shared CI runners. Deliberately telemetry-free: it
+/// measures the ring itself, not the instrumented serving path.
 fn measure_ingest_rate(tag: SessionId, width: usize, ring_capacity: usize) -> f64 {
     let ring = IngestRing::new(ring_capacity, width);
     let round = DetectionRound::zeros(width);
@@ -191,38 +238,43 @@ fn measure_ingest_rate(tag: SessionId, width: usize, ring_capacity: usize) -> f6
     pushed as f64 / start.elapsed().as_secs_f64()
 }
 
-fn main() {
-    let opts = BenchOptions::parse();
+/// Everything one serving run produces — the headline measurements, the
+/// latency aggregates, the per-shard ingest accounting and (when
+/// telemetry was enabled) a metrics snapshot taken after the serving
+/// loop but *before* the sessions closed, so it shows the steady
+/// serving state (`qecool_sessions_open` > 0, worker/ring counters hot).
+struct ServeOutcome {
+    elapsed: Duration,
+    throughput: f64,
+    total_corrections: u64,
+    pump_workers: usize,
+    worst_util: f64,
+    mean_util: f64,
+    overruns: u64,
+    max_cycles: u64,
+    p99_cycles: u64,
+    overflowed: usize,
+    digest: u64,
+    per_shard: Vec<ShardStats>,
+    total_stats: ShardStats,
+    snapshot: Option<Snapshot>,
+}
+
+/// One full serving run: build a fresh fabric, open sessions, serve
+/// `rounds` batched rounds, snapshot, close, aggregate. Deterministic in
+/// everything but the timings — two runs with the same options produce
+/// the same digest whatever `telemetry` says.
+fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
     let budget = CycleBudget::at_clock(opts.ghz * 1e9);
-    let config = ServiceConfig::new(opts.d, opts.backend, budget).with_threads(opts.threads);
+    let config = ServiceConfig::new(opts.d, opts.backend, budget)
+        .with_threads(opts.threads)
+        .with_telemetry(telemetry.clone());
     let service = match ShardedDecodeService::new(ShardedServiceConfig::new(config, opts.shards)) {
         Ok(s) => s,
         Err(e) => usage_error(&format!("--d: {e}")),
     };
     let lattice = Lattice::new(opts.d).expect("distance validated above");
     let noise = PhenomenologicalNoise::symmetric(opts.p);
-    // Worker budget the fabric divides between shards; the denominator
-    // for session density. Mirrors ShardedDecodeService::new.
-    let cores = if opts.threads > 0 {
-        opts.threads
-    } else {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    };
-
-    eprintln!(
-        "serving {} sessions x {} rounds on {} shard(s) (d = {}, p = {}, {:?} @ {} GHz = {} \
-         cycles/round)...",
-        opts.sessions,
-        opts.rounds,
-        service.num_shards(),
-        opts.d,
-        opts.p,
-        opts.backend,
-        opts.ghz,
-        service.budget_cycles()
-    );
 
     let ids: Vec<SessionId> = (0..opts.sessions).map(|_| service.open_session()).collect();
     let mut patches: Vec<CodePatch> = (0..opts.sessions)
@@ -237,16 +289,6 @@ fn main() {
         .map(|_| DetectionRound::zeros(lattice.num_ancillas()))
         .collect();
     let mut digests: Vec<Digest> = vec![Digest::new(); opts.sessions];
-
-    // Gated ingest metric, measured on a dedicated ring over a fixed
-    // window (not inside the serving loop, where it would be a ~1 ms
-    // timer-noise-dominated sample). The tag id is arbitrary: the ring
-    // never resolves it.
-    let ingest_rounds_per_sec = measure_ingest_rate(
-        ids[0],
-        lattice.num_ancillas(),
-        service.config().ring_capacity,
-    );
 
     let start = Instant::now();
     let mut total_corrections = 0u64;
@@ -289,7 +331,10 @@ fn main() {
             overflowed += 1;
         }
     }
-    let p99_cycles = hist.percentile(0.99);
+
+    // Snapshot while every session is still open: this is the metrics
+    // view a scraper would see mid-serve.
+    let snapshot = telemetry.snapshot();
 
     // Fold each session's close report into its digest, then combine in
     // session order. Identical across shard counts and worker counts by
@@ -303,63 +348,288 @@ fn main() {
         digests[s].push(report.rounds_dropped);
         fabric_digest.push(digests[s].0);
     }
-    let stats = service.total_stats();
 
     let served_rounds = (opts.sessions * opts.rounds) as f64;
-    let throughput = served_rounds / elapsed.as_secs_f64().max(1e-12);
+    ServeOutcome {
+        elapsed,
+        throughput: served_rounds / elapsed.as_secs_f64().max(1e-12),
+        total_corrections,
+        pump_workers,
+        worst_util,
+        mean_util: mean_util_acc / opts.sessions as f64,
+        overruns,
+        max_cycles,
+        p99_cycles: hist.percentile(0.99),
+        overflowed,
+        digest: fabric_digest.0,
+        per_shard: (0..service.num_shards())
+            .map(|i| service.shard_stats(i))
+            .collect(),
+        total_stats: service.total_stats(),
+        snapshot,
+    }
+}
+
+/// Writes one rendered snapshot to a `--metrics`-style target:
+/// `-` prints to stdout, anything else replaces the file's content (the
+/// Prometheus textfile-collector convention, so a scraper never sees a
+/// half-written snapshot accumulate).
+fn emit_metrics(target: &str, rendered: &str) {
+    if target == "-" {
+        println!("{rendered}");
+    } else if let Err(e) = std::fs::write(target, rendered) {
+        usage_error(&format!("cannot write {target}: {e}"));
+    }
+}
+
+/// Renders + writes the snapshot to every configured target.
+fn emit_snapshot(opts: &BenchOptions, snapshot: &Snapshot) {
+    if let Some(target) = &opts.metrics {
+        emit_metrics(target, &snapshot.to_prometheus());
+        if target != "-" {
+            eprintln!("wrote {target}");
+        }
+    }
+    if let Some(target) = &opts.metrics_json {
+        emit_metrics(target, &snapshot.to_flat_json("qecool_telemetry"));
+        if target != "-" {
+            eprintln!("wrote {target}");
+        }
+    }
+}
+
+/// Interleaved disabled/enabled arm pairs for the overhead ratio.
+const OVERHEAD_PAIRS: usize = 5;
+
+/// Minimum rounds pushed per overhead arm: small arms finish in a few
+/// milliseconds and the ratio drowns in scheduler noise, so the
+/// measurement floors the per-arm workload regardless of the requested
+/// `--rounds` (the main serve is unaffected).
+const OVERHEAD_MIN_ROUNDS_TOTAL: usize = 16_000;
+
+/// Measures the telemetry overhead with interleaved paired arms:
+/// disabled/enabled × [`OVERHEAD_PAIRS`], fresh fabric and identical
+/// seeds per arm, best-of per side (the interleaving cancels runner
+/// drift; best-of cancels one-off scheduler hiccups), workload floored
+/// at [`OVERHEAD_MIN_ROUNDS_TOTAL`] rounds per arm. Returns
+/// `best_enabled / best_disabled` — the `telemetry_throughput_ratio`
+/// the perf gate floors at its absolute constant.
+fn measure_telemetry_overhead(opts: &BenchOptions) -> f64 {
+    let mut opts = opts.clone();
+    opts.rounds = opts
+        .rounds
+        .max(OVERHEAD_MIN_ROUNDS_TOTAL / opts.sessions.max(1));
+    let opts = &opts;
+    let mut best = [0.0f64; 2]; // [disabled, enabled]
+    let mut digests = [None::<u64>; 2];
+    for pair in 0..OVERHEAD_PAIRS {
+        for (arm, enabled) in [(0usize, false), (1usize, true)] {
+            let telemetry = if enabled {
+                TelemetryHandle::enabled()
+            } else {
+                TelemetryHandle::disabled()
+            };
+            let outcome = serve(opts, telemetry);
+            best[arm] = best[arm].max(outcome.throughput);
+            // The arms double as a determinism check: telemetry must
+            // not move a single correction byte.
+            let seen = digests[arm].get_or_insert(outcome.digest);
+            assert_eq!(
+                *seen, outcome.digest,
+                "pair {pair}: digest unstable across repeats"
+            );
+        }
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "telemetry changed the session digest — it must be observational only"
+    );
+    best[1] / best[0].max(f64::MIN_POSITIVE)
+}
+
+fn main() {
+    let opts = BenchOptions::parse();
+    let telemetry = if opts.telemetry_requested() {
+        TelemetryHandle::enabled()
+    } else {
+        TelemetryHandle::disabled()
+    };
+    let budget_cycles = CycleBudget::at_clock(opts.ghz * 1e9).cycles_per_round();
+
+    eprintln!(
+        "serving {} sessions x {} rounds on {} shard(s) (d = {}, p = {}, {:?} @ {} GHz = {} \
+         cycles/round{})...",
+        opts.sessions,
+        opts.rounds,
+        opts.shards,
+        opts.d,
+        opts.p,
+        opts.backend,
+        opts.ghz,
+        budget_cycles,
+        if telemetry.is_enabled() {
+            ", telemetry on"
+        } else {
+            ""
+        }
+    );
+
+    // Gated ingest metric, measured on a dedicated ring over a fixed
+    // window (not inside the serving loop, where it would be a ~1 ms
+    // timer-noise-dominated sample). The tag id is arbitrary: the ring
+    // never resolves it.
+    let lattice = match Lattice::new(opts.d) {
+        Ok(l) => l,
+        Err(e) => usage_error(&format!("--d: {e}")),
+    };
+    // Ids are crate-internal; mint one from a throwaway solo service.
+    let tag = {
+        let budget = CycleBudget::at_clock(opts.ghz * 1e9);
+        let config = ServiceConfig::new(opts.d, opts.backend, budget).with_threads(1);
+        let mut solo = DecodeService::new(config).expect("distance validated above");
+        solo.open_session()
+    };
+    let ingest_rounds_per_sec = measure_ingest_rate(
+        tag,
+        lattice.num_ancillas(),
+        qecool_sim::shard::DEFAULT_RING_CAPACITY,
+    );
+
+    // Periodic emitter: re-render the live registry to the metrics
+    // target(s) while the serving loop runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let emitter = (opts.metrics_interval_ms > 0 && telemetry.is_enabled()).then(|| {
+        let registry = telemetry
+            .registry()
+            .expect("telemetry enabled above")
+            .clone();
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(opts.metrics_interval_ms);
+        let metrics = opts.metrics.clone();
+        let metrics_json = opts.metrics_json.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                let snapshot = registry.snapshot();
+                if let Some(target) = &metrics {
+                    emit_metrics(target, &snapshot.to_prometheus());
+                }
+                if let Some(target) = &metrics_json {
+                    emit_metrics(target, &snapshot.to_flat_json("qecool_telemetry"));
+                }
+            }
+        })
+    });
+
+    let outcome = serve(&opts, telemetry.clone());
+
+    stop.store(true, Ordering::Release);
+    if let Some(handle) = emitter {
+        handle.join().expect("metrics emitter panicked");
+    }
+
+    // Worker budget the fabric divides between shards; the denominator
+    // for session density. Mirrors ShardedDecodeService::new.
+    let cores = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
     let sessions_per_core = opts.sessions as f64 / cores as f64;
+    let stats = outcome.total_stats;
 
     let mut table = TextTable::new(["metric", "value"]);
     table.row(["sessions", &opts.sessions.to_string()]);
     table.row(["rounds/session", &opts.rounds.to_string()]);
-    table.row(["shards", &service.num_shards().to_string()]);
+    table.row(["shards", &opts.shards.to_string()]);
+    table.row(["budget (cycles/round)", &budget_cycles.to_string()]);
     table.row([
-        "budget (cycles/round)",
-        &service.budget_cycles().to_string(),
+        "wall time (s)",
+        &format!("{:.3}", outcome.elapsed.as_secs_f64()),
     ]);
-    table.row(["wall time (s)", &format!("{:.3}", elapsed.as_secs_f64())]);
-    table.row(["throughput (rounds/s)", &format!("{throughput:.0}")]);
+    table.row([
+        "throughput (rounds/s)",
+        &format!("{:.0}", outcome.throughput),
+    ]);
     table.row([
         "ingest rate (rounds/s)",
         &format!("{ingest_rounds_per_sec:.0}"),
     ]);
     table.row(["sessions/core", &format!("{sessions_per_core:.2}")]);
-    table.row(["pump workers", &pump_workers.to_string()]);
+    table.row(["pump workers", &outcome.pump_workers.to_string()]);
     table.row(["ring stalls", &stats.stalls.to_string()]);
     table.row(["rounds dropped", &stats.dropped.to_string()]);
-    table.row(["corrections emitted", &total_corrections.to_string()]);
-    table.row(["max decode cycles", &max_cycles.to_string()]);
-    table.row(["p99 decode cycles", &p99_cycles.to_string()]);
+    table.row([
+        "corrections emitted",
+        &outcome.total_corrections.to_string(),
+    ]);
+    table.row(["max decode cycles", &outcome.max_cycles.to_string()]);
+    table.row(["p99 decode cycles", &outcome.p99_cycles.to_string()]);
     table.row([
         "p99 budget utilisation",
         &format!(
             "{:.3}",
-            p99_cycles as f64 / service.budget_cycles().max(1) as f64
+            outcome.p99_cycles as f64 / budget_cycles.max(1) as f64
         ),
     ]);
-    table.row(["worst budget utilisation", &format!("{worst_util:.3}")]);
+    table.row([
+        "worst budget utilisation",
+        &format!("{:.3}", outcome.worst_util),
+    ]);
     table.row([
         "mean budget utilisation",
-        &format!("{:.4}", mean_util_acc / opts.sessions as f64),
+        &format!("{:.4}", outcome.mean_util),
     ]);
-    table.row(["budget overruns", &overruns.to_string()]);
-    table.row(["overflowed sessions", &overflowed.to_string()]);
-    table.row(["session digest", &format!("{:016x}", fabric_digest.0)]);
+    table.row(["budget overruns", &outcome.overruns.to_string()]);
+    table.row(["overflowed sessions", &outcome.overflowed.to_string()]);
+    table.row(["session digest", &format!("{:016x}", outcome.digest)]);
     println!("{}", table.render());
 
+    // Per-shard ingest accounting: where the rounds went, shard by
+    // shard — the capacity planner's view of ring pressure.
+    let mut shard_table = TextTable::new([
+        "shard",
+        "enqueued",
+        "drained",
+        "stalls",
+        "dropped",
+        "backpressure",
+    ]);
+    for (i, s) in outcome.per_shard.iter().enumerate() {
+        shard_table.row([
+            i.to_string(),
+            s.enqueued.to_string(),
+            s.drained.to_string(),
+            s.stalls.to_string(),
+            s.dropped.to_string(),
+            s.backpressure.to_string(),
+        ]);
+    }
+    println!("{}", shard_table.render());
+
+    if let Some(snapshot) = &outcome.snapshot {
+        emit_snapshot(&opts, snapshot);
+    }
+
     if let Some(path) = &opts.json {
-        let record = BenchRecord::new("service_bench", throughput)
-            .with("p99_cycles", p99_cycles as f64)
-            .with("budget_cycles", service.budget_cycles() as f64)
-            .with("max_cycles", max_cycles as f64)
-            .with("overruns", overruns as f64)
+        eprintln!("measuring telemetry overhead ({OVERHEAD_PAIRS} disabled/enabled pairs)...");
+        let telemetry_ratio = measure_telemetry_overhead(&opts);
+        eprintln!("telemetry throughput ratio: {telemetry_ratio:.3}");
+        let record = BenchRecord::new("service_bench", outcome.throughput)
+            .with("p99_cycles", outcome.p99_cycles as f64)
+            .with("budget_cycles", budget_cycles as f64)
+            .with("max_cycles", outcome.max_cycles as f64)
+            .with("overruns", outcome.overruns as f64)
             .with("sessions", opts.sessions as f64)
             .with("rounds_per_session", opts.rounds as f64)
-            .with("pump_workers", pump_workers as f64)
+            .with("pump_workers", outcome.pump_workers as f64)
             .with("worker_budget", cores as f64)
-            .with("shards", service.num_shards() as f64)
+            .with("shards", opts.shards as f64)
             .with("sessions_per_core", sessions_per_core)
-            .with("ingest_rounds_per_sec", ingest_rounds_per_sec);
+            .with("ingest_rounds_per_sec", ingest_rounds_per_sec)
+            .with("telemetry_throughput_ratio", telemetry_ratio);
         write_records(path, std::slice::from_ref(&record));
         eprintln!("wrote {path}");
     }

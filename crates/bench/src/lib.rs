@@ -384,6 +384,22 @@ pub mod perf {
         /// `--threads 0`) stay informational extras.
         pub const GATED_EXTRAS: &[&str] = &["ingest_rounds_per_sec"];
 
+        /// Extra metrics gated against an **absolute** floor instead of
+        /// the baseline's measured value. For ratio-shaped metrics the
+        /// meaningful bound is a constant, not a previous run:
+        /// `telemetry_throughput_ratio` (enabled-telemetry throughput ÷
+        /// disabled-telemetry throughput, measured by `service_bench`
+        /// under `--json`) must stay ≥ 0.90 regardless of what the
+        /// baseline runner measured. Typical measured overhead is 3–8%;
+        /// the floor leaves headroom for shared-runner scheduling noise,
+        /// which the paired best-of measurement cannot fully cancel.
+        ///
+        /// Like [`GATED_EXTRAS`], a key is armed per benchmark by the
+        /// baseline record carrying it; candidates must then keep
+        /// emitting it. The baseline's *value* is only checked for
+        /// sanity — the floor compared against is the constant here.
+        pub const ABS_FLOOR_EXTRAS: &[(&str, f64)] = &[("telemetry_throughput_ratio", 0.90)];
+
         /// One compared metric, ready for table rendering.
         #[derive(Debug, Clone, PartialEq)]
         pub struct GateRow {
@@ -523,6 +539,24 @@ pub mod perf {
                         cand_value,
                         floor,
                     )?;
+                }
+                for &(key, abs_floor) in ABS_FLOOR_EXTRAS {
+                    let Some(base_value) = extra(base, key) else {
+                        continue;
+                    };
+                    // The baseline value only arms the gate; sanity-check
+                    // it so a dead baseline is flagged, then compare the
+                    // candidate against the constant floor (base =
+                    // abs_floor, relative floor = 1.0 ⇒ cand ≥ abs_floor).
+                    check_floor(&record.name, key, base_value)?;
+                    let Some(cand_value) = extra(record, key) else {
+                        return Err(format!(
+                            "candidate record '{}' is missing gated metric '{key}' \
+                             (present in the baseline; the bench stopped emitting it?)",
+                            record.name
+                        ));
+                    };
+                    compare_metric(&mut report, &record.name, key, abs_floor, cand_value, 1.0)?;
                 }
             }
             // Coverage: a baseline benchmark with no candidate record
@@ -825,6 +859,48 @@ mod tests {
         let candidate =
             vec![perf::BenchRecord::new("svc", 1000.0).with("ingest_rounds_per_sec", 90.0)];
         assert!(perf::gate::compare(&baseline, &candidate, 20.0).is_err());
+    }
+
+    #[test]
+    fn gate_floors_telemetry_ratio_at_the_absolute_constant() {
+        // The floor is the ABS_FLOOR_EXTRAS constant (0.90), not the
+        // baseline's measured value: a baseline of 1.0 with --max-drop-pct
+        // 20 would otherwise let the ratio sink to 0.80.
+        let baseline =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("telemetry_throughput_ratio", 1.0)];
+        let pass =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("telemetry_throughput_ratio", 0.93)];
+        let report = perf::gate::compare(&baseline, &pass, 20.0).unwrap();
+        assert_eq!(report.failures, 0, "0.93 >= 0.90 must pass");
+        let fail =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("telemetry_throughput_ratio", 0.85)];
+        let report = perf::gate::compare(&baseline, &fail, 20.0).unwrap();
+        assert_eq!(report.failures, 1, "0.85 < 0.90 must trip the gate");
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "telemetry_throughput_ratio")
+            .unwrap();
+        assert!(row.failed);
+        assert_eq!(row.baseline, Some(0.90), "row shows the absolute floor");
+    }
+
+    #[test]
+    fn gate_abs_floor_requires_the_candidate_to_emit_the_metric() {
+        let baseline =
+            vec![perf::BenchRecord::new("svc", 1000.0).with("telemetry_throughput_ratio", 1.0)];
+        let candidate = vec![perf::BenchRecord::new("svc", 1000.0)];
+        let err = perf::gate::compare(&baseline, &candidate, 20.0).unwrap_err();
+        assert!(
+            err.contains("telemetry_throughput_ratio"),
+            "error should name the missing metric: {err}"
+        );
+        // And without the baseline carrying the key, the gate stays
+        // un-armed: no row, no failure.
+        let unarmed = vec![perf::BenchRecord::new("svc", 1000.0)];
+        let report = perf::gate::compare(&unarmed, &candidate, 20.0).unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.rows.len(), 1);
     }
 
     #[test]

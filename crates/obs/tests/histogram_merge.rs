@@ -1,0 +1,65 @@
+//! Satellite: `CycleHistogram` merge under telemetry aggregation.
+//!
+//! The striped [`qecool_obs::Histogram`] records each worker's samples
+//! into its own stripe and folds them with `CycleHistogram::merge` at
+//! snapshot time. For the exposed totals, buckets and percentiles to
+//! mean anything, that fold must be indistinguishable from recording
+//! the whole sample stream into one histogram — whatever the worker
+//! split. This property test drives both with random samples and random
+//! worker assignments and demands exact equality.
+
+use proptest::prelude::*;
+use qecool_obs::Histogram;
+use qecool_sfq::budget::CycleHistogram;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn striped_merge_equals_single_stream(seed in any::<u64>(), len in 0usize..512, workers in 1usize..12) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let striped = Histogram::new();
+        let mut single = CycleHistogram::new();
+        let mut expected_sum = 0u64;
+        for _ in 0..len {
+            // Log-uniform-ish samples: spread across bucket magnitudes
+            // rather than piling into the top decade.
+            let shift = rng.gen_range(0..64u32);
+            let sample = rng.next_u64() >> shift;
+            let worker = rng.gen_range(0..workers);
+            striped.record(worker, sample);
+            single.record(sample);
+            expected_sum = expected_sum.saturating_add(sample);
+        }
+        let (merged, sum) = striped.merged();
+        prop_assert_eq!(merged, single);
+        prop_assert_eq!(sum, expected_sum);
+        prop_assert_eq!(merged.total(), len as u64);
+        // Percentiles agree at every quartile, not just the bucket map.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), single.percentile(q));
+        }
+    }
+
+    #[test]
+    fn merge_of_per_worker_histograms_equals_single_stream(seed in any::<u64>(), len in 0usize..256, workers in 1usize..9) {
+        // The same property stated directly on CycleHistogram: N
+        // per-worker histograms merged in worker order equal the
+        // single-stream histogram.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut per_worker = vec![CycleHistogram::new(); workers];
+        let mut single = CycleHistogram::new();
+        for _ in 0..len {
+            let shift = rng.gen_range(0..64u32);
+            let sample = rng.next_u64() >> shift;
+            let worker = rng.gen_range(0..workers);
+            per_worker[worker].record(sample);
+            single.record(sample);
+        }
+        let mut merged = CycleHistogram::new();
+        for h in &per_worker {
+            merged.merge(h);
+        }
+        prop_assert_eq!(merged, single);
+    }
+}

@@ -150,6 +150,35 @@ impl CycleHistogram {
         self.total += other.total;
     }
 
+    /// The raw per-bucket counts, indexed by log₂ bucket (see the type
+    /// docs for the bucket boundaries). Exposition renderers iterate
+    /// this to build cumulative `le=`-style series.
+    pub fn bucket_counts(&self) -> &[u64; CYCLE_HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The inclusive upper cycle bound of bucket `b`: 0 for bucket 0,
+    /// `2^b − 1` for buckets 1..=63, and `u64::MAX` for bucket 64 —
+    /// the same bounds [`CycleHistogram::percentile`] reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b ≥ CYCLE_HIST_BUCKETS`.
+    pub const fn bucket_upper_bound(b: usize) -> u64 {
+        assert!(b < CYCLE_HIST_BUCKETS, "bucket index out of range");
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Index of the highest non-empty bucket, or `None` for an empty
+    /// histogram.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
     /// The inclusive upper cycle bound of the bucket containing the
     /// `q`-quantile round, or 0 for an empty histogram (whatever `q`).
     /// `percentile(0.99)` is the p99 round cost, rounded up to the next
@@ -360,6 +389,28 @@ mod tests {
         // NaN must neither panic nor under-report: it pins to p100.
         assert_eq!(h.percentile(f64::NAN), h.percentile(1.0));
         assert!(h.percentile(f64::NAN) >= 700);
+    }
+
+    #[test]
+    fn cycle_histogram_bucket_accessors() {
+        let mut h = CycleHistogram::new();
+        assert_eq!(h.max_bucket(), None);
+        for c in [0u64, 1, 3, 900] {
+            h.record(c);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "one zero-cycle round");
+        assert_eq!(counts[1], 1, "cycles == 1 lands in bucket 1");
+        assert_eq!(counts[2], 1, "2 <= 3 < 4 lands in bucket 2");
+        assert_eq!(counts[10], 1, "512 <= 900 < 1024 lands in bucket 10");
+        assert_eq!(counts.iter().sum::<u64>(), h.total());
+        assert_eq!(h.max_bucket(), Some(10));
+        // Upper bounds line up with what percentile() reports.
+        assert_eq!(CycleHistogram::bucket_upper_bound(0), 0);
+        assert_eq!(CycleHistogram::bucket_upper_bound(1), 1);
+        assert_eq!(CycleHistogram::bucket_upper_bound(10), 1023);
+        assert_eq!(CycleHistogram::bucket_upper_bound(64), u64::MAX);
+        assert_eq!(h.percentile(1.0), CycleHistogram::bucket_upper_bound(10));
     }
 
     #[test]

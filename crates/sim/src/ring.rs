@@ -24,13 +24,64 @@
 //! A full ring rejects the push ([`RingFull`]) instead of blocking: the
 //! caller decides the backpressure policy (the sharded service falls
 //! back to draining the ring inline, counting the stall).
+//!
+//! # Telemetry
+//!
+//! A ring built through the sharded fabric with telemetry enabled
+//! additionally maintains the `qecool_ring_push_total`,
+//! `qecool_ring_pop_total` and `qecool_ring_full_total` counters, the
+//! `qecool_ring_occupancy_hwm` high-water mark, and stamps one round in
+//! `STAGE_SAMPLE_PERIOD` to feed the `qecool_stage_ring_residency_ns`
+//! histogram. The occupancy high-water mark is probed on the sampled
+//! pushes only (1 in `STAGE_SAMPLE_PERIOD`), because computing it reads
+//! the consumer-owned `head` line. All of it is observational: counters
+//! are striped by ticket position (no added contention) and the stamp
+//! rides in slot bytes the push already writes, so enabling telemetry
+//! cannot change push/pop ordering.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use qecool_obs::{Counter, MaxGauge, MetricsRegistry, Stage, StageTracer, STAGE_SAMPLE_PERIOD};
 use qecool_surface_code::DetectionRound;
 
 use crate::service::SessionId;
+
+/// The ring's metric bundle, get-or-registered against one shared
+/// registry so every shard's ring lands in the same fabric-wide series.
+#[derive(Debug, Clone)]
+pub(crate) struct RingTelemetry {
+    pushes: Arc<Counter>,
+    pops: Arc<Counter>,
+    full: Arc<Counter>,
+    hwm: Arc<MaxGauge>,
+    tracer: StageTracer,
+}
+
+impl RingTelemetry {
+    pub(crate) fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            pushes: registry.counter(
+                "qecool_ring_push_total",
+                "Rounds accepted into ingest rings",
+            ),
+            pops: registry.counter(
+                "qecool_ring_pop_total",
+                "Rounds drained out of ingest rings",
+            ),
+            full: registry.counter(
+                "qecool_ring_full_total",
+                "Pushes rejected because every ring slot was occupied",
+            ),
+            hwm: registry.max_gauge(
+                "qecool_ring_occupancy_hwm",
+                "High-water mark of rounds queued in any ingest ring (sampled 1-in-8 pushes)",
+            ),
+            tracer: StageTracer::new(registry),
+        }
+    }
+}
 
 /// Pads (and aligns) a value to a 64-byte cache line so hot atomics on
 /// either side of a producer/consumer pair do not false-share.
@@ -58,6 +109,11 @@ impl std::error::Error for RingFull {}
 struct SlotPayload {
     session: SessionId,
     round: DetectionRound,
+    /// Telemetry stamp: nanoseconds (registry epoch) at push time for
+    /// the sampled rounds, 0 for unsampled rounds or telemetry-free
+    /// rings. Rewritten on every push, so recycled slots never leak a
+    /// stale stamp.
+    stamp_ns: u64,
 }
 
 /// Drop guard that hands a drained slot to the producer one lap ahead.
@@ -103,6 +159,9 @@ pub struct IngestRing {
     tail: CachePadded<AtomicUsize>,
     /// Next consumer ticket.
     head: CachePadded<AtomicUsize>,
+    /// Telemetry bundle; `None` keeps the ring exactly as fast as it
+    /// was before telemetry existed.
+    obs: Option<RingTelemetry>,
 }
 
 impl IngestRing {
@@ -110,6 +169,16 @@ impl IngestRing {
     /// two, minimum 2) of `width` detection events each. Every slot
     /// buffer is allocated here, once; pushes and pops only copy.
     pub fn new(capacity: usize, width: usize) -> Self {
+        Self::with_telemetry(capacity, width, None)
+    }
+
+    /// As [`IngestRing::new`], with an optional metric bundle (how the
+    /// sharded fabric builds its rings when telemetry is enabled).
+    pub(crate) fn with_telemetry(
+        capacity: usize,
+        width: usize,
+        obs: Option<RingTelemetry>,
+    ) -> Self {
         let capacity = capacity.max(2).next_power_of_two();
         let slots: Vec<Slot> = (0..capacity)
             .map(|i| Slot {
@@ -117,6 +186,7 @@ impl IngestRing {
                 payload: Mutex::new(SlotPayload {
                     session: SessionId::invalid(),
                     round: DetectionRound::zeros(width),
+                    stamp_ns: 0,
                 }),
             })
             .collect();
@@ -126,6 +196,7 @@ impl IngestRing {
             width,
             tail: CachePadded(AtomicUsize::new(0)),
             head: CachePadded(AtomicUsize::new(0)),
+            obs,
         }
     }
 
@@ -188,6 +259,27 @@ impl IngestRing {
                         let mut payload = slot.payload.lock();
                         payload.session = session;
                         payload.round.copy_from(round);
+                        payload.stamp_ns = match &self.obs {
+                            Some(obs) => {
+                                obs.pushes.add(pos, 1);
+                                if (pos as u64).is_multiple_of(STAGE_SAMPLE_PERIOD) {
+                                    // Occupancy is probed on the sampled
+                                    // pushes only: reading `head` here
+                                    // touches the consumer's cache line,
+                                    // so doing it every push would put
+                                    // real contention on the hot path
+                                    // for a statistic.
+                                    let queued = (pos + 1)
+                                        .saturating_sub(self.head.0.load(Ordering::Relaxed));
+                                    obs.hwm.observe(queued as u64);
+                                    // `max(1)`: 0 means "unsampled".
+                                    obs.tracer.now_ns().max(1)
+                                } else {
+                                    0
+                                }
+                            }
+                            None => 0,
+                        };
                         drop(payload);
                         slot.sequence.store(pos + 1, Ordering::Release);
                         return Ok(());
@@ -195,6 +287,9 @@ impl IngestRing {
                     Err(observed) => pos = observed,
                 }
             } else if seq < pos {
+                if let Some(obs) = &self.obs {
+                    obs.full.add(pos, 1);
+                }
                 return Err(RingFull);
             } else {
                 pos = self.tail.0.load(Ordering::Relaxed);
@@ -219,6 +314,17 @@ impl IngestRing {
     /// The wait is bounded by the in-flight producer's payload copy (a
     /// few word writes), which it performs without holding any lock.
     pub fn pop_with<R>(&self, f: impl FnOnce(SessionId, &DetectionRound) -> R) -> Option<R> {
+        self.pop_with_stamped(|session, round, _| f(session, round))
+    }
+
+    /// As [`IngestRing::pop_with`], additionally handing `f` the round's
+    /// telemetry stamp: the pop-side timestamp for rounds sampled at
+    /// push (so downstream stages can measure queue wait), 0 otherwise.
+    /// Ring-residency time is recorded here, before `f` runs.
+    pub(crate) fn pop_with_stamped<R>(
+        &self,
+        f: impl FnOnce(SessionId, &DetectionRound, u64) -> R,
+    ) -> Option<R> {
         let mut pos = self.head.0.load(Ordering::Relaxed);
         let mut spins = 0u32;
         loop {
@@ -247,7 +353,24 @@ impl IngestRing {
                             next: pos + self.slots.len(),
                         };
                         let payload = slot.payload.lock();
-                        let result = f(payload.session, &payload.round);
+                        let stamp = match &self.obs {
+                            Some(obs) => {
+                                obs.pops.add(pos, 1);
+                                if payload.stamp_ns != 0 {
+                                    let now = obs.tracer.now_ns().max(1);
+                                    obs.tracer.record(
+                                        Stage::RingResidency,
+                                        pos,
+                                        now.saturating_sub(payload.stamp_ns),
+                                    );
+                                    now
+                                } else {
+                                    0
+                                }
+                            }
+                            None => 0,
+                        };
+                        let result = f(payload.session, &payload.round, stamp);
                         drop(payload);
                         drop(release);
                         return Some(result);

@@ -87,6 +87,10 @@ use parking_lot::{Condvar, Mutex};
 use qecool::api::{DecodeOutput, Decoder};
 use qecool::{QecoolConfig, QecoolDecoder, RegOverflow, DEFAULT_BOUNDARY_PENALTY};
 use qecool_mwpm::MwpmDecoder;
+use qecool_obs::counters::thread_stripe;
+use qecool_obs::{
+    Counter, Gauge, MetricsRegistry, Stage, StageTracer, TelemetryHandle, STAGE_SAMPLE_PERIOD,
+};
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
 use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError, SyndromeHistory};
 use qecool_uf::UnionFindDecoder;
@@ -105,7 +109,7 @@ pub enum ServiceBackend {
 }
 
 /// Configuration of a [`DecodeService`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Code distance of every session's patch.
     pub d: usize,
@@ -117,11 +121,17 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Extra hops charged to Boundary-Unit spikes (QECOOL only).
     pub boundary_penalty: u64,
+    /// Telemetry sink. Disabled by default; when enabled the service
+    /// maintains the `qecool_service_*`, `qecool_pool_*` and
+    /// `qecool_sessions_*` series plus the stage-latency histograms.
+    /// Strictly observational — corrections are byte-identical with
+    /// telemetry on or off.
+    pub telemetry: TelemetryHandle,
 }
 
 impl ServiceConfig {
-    /// A service configuration with default threading (all cores) and
-    /// the paper's boundary penalty.
+    /// A service configuration with default threading (all cores), the
+    /// paper's boundary penalty, and telemetry disabled.
     pub fn new(d: usize, backend: ServiceBackend, budget: CycleBudget) -> Self {
         Self {
             d,
@@ -129,6 +139,7 @@ impl ServiceConfig {
             budget,
             threads: 0,
             boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -136,6 +147,87 @@ impl ServiceConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Points the service's instrumentation at `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// The service-side metric bundle. Every metric is get-or-registered
+/// against the handle's shared registry, so all shards of a fabric
+/// report into the same fabric-wide series.
+struct ServiceTelemetry {
+    tracer: StageTracer,
+    /// Rounds offered to session inboxes (solo pushes and ring drains;
+    /// includes pushes rejected at the session, so it can run slightly
+    /// ahead of rounds decoded). Its per-stripe tick doubles as the
+    /// deterministic 1-in-N sampling clock for solo-push stamps.
+    ingest: Arc<Counter>,
+    rounds_decoded: Arc<Counter>,
+    pump_calls: Arc<Counter>,
+    /// Per-stripe drain tick driving the 1-in-N wall-clock sampling of
+    /// the decode stage.
+    drains: Arc<Counter>,
+    steals: Arc<Counter>,
+    parks: Arc<Counter>,
+    wakes: Arc<Counter>,
+    busy_cycles: Arc<Counter>,
+    sessions_opened: Arc<Counter>,
+    sessions_closed: Arc<Counter>,
+    sessions_overflowed: Arc<Counter>,
+    sessions_open: Arc<Gauge>,
+}
+
+impl ServiceTelemetry {
+    fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            tracer: StageTracer::new(registry),
+            ingest: registry.counter(
+                "qecool_service_ingest_total",
+                "Rounds offered to session inboxes (including rejected pushes)",
+            ),
+            rounds_decoded: registry.counter(
+                "qecool_service_rounds_decoded_total",
+                "Rounds decoded under the per-round cycle budget",
+            ),
+            pump_calls: registry.counter(
+                "qecool_service_pump_calls_total",
+                "DecodeService::pump invocations",
+            ),
+            drains: registry.counter(
+                "qecool_service_drains_total",
+                "Inbox drain batches executed",
+            ),
+            steals: registry.counter(
+                "qecool_pool_steals_total",
+                "Pump jobs pulled off the shared queue by pool workers",
+            ),
+            parks: registry.counter(
+                "qecool_pool_parks_total",
+                "Times a pool worker parked on the work-ready condvar",
+            ),
+            wakes: registry.counter("qecool_pool_wakes_total", "Times a parked pool worker woke"),
+            busy_cycles: registry.counter(
+                "qecool_pool_busy_cycles_total",
+                "Decode cycles spent draining inboxes, per worker stripe",
+            ),
+            sessions_opened: registry.counter(
+                "qecool_sessions_opened_total",
+                "Sessions opened over the service lifetime",
+            ),
+            sessions_closed: registry.counter(
+                "qecool_sessions_closed_total",
+                "Sessions closed over the service lifetime",
+            ),
+            sessions_overflowed: registry.counter(
+                "qecool_sessions_overflowed_total",
+                "Sessions that failed by register overflow",
+            ),
+            sessions_open: registry.gauge("qecool_sessions_open", "Currently open sessions"),
+        }
     }
 }
 
@@ -319,6 +411,14 @@ struct Session {
     overflowed: bool,
     rounds_ingested: u64,
     rounds_dropped: u64,
+    /// Telemetry queue-wait stamps, parallel to `inbox` (0 = the round
+    /// was not sampled). Empty for the whole session life when the
+    /// service's telemetry is disabled.
+    stamps: VecDeque<u64>,
+    /// Telemetry: registry-epoch ns when the last drain that produced
+    /// fresh corrections ended (sampled drains only; 0 = none pending).
+    /// The next poll turns it into a poll-to-drain segment.
+    last_emit_ns: u64,
 }
 
 impl Session {
@@ -337,16 +437,23 @@ impl Session {
             overflowed: false,
             rounds_ingested: 0,
             rounds_dropped: 0,
+            stamps: VecDeque::new(),
+            last_emit_ns: 0,
         }
     }
 
-    fn enqueue(&mut self, round: &DetectionRound) {
+    /// `stamp`: `None` when telemetry is disabled (the stamp queue stays
+    /// empty), `Some(ns)` to track a queue-wait stamp (0 = unsampled).
+    fn enqueue(&mut self, round: &DetectionRound, stamp: Option<u64>) {
         let mut buf = self
             .spare
             .pop()
             .unwrap_or_else(|| DetectionRound::zeros(round.events().len()));
         buf.copy_from(round);
         self.inbox.push_back(buf);
+        if let Some(stamp) = stamp {
+            self.stamps.push_back(stamp);
+        }
         self.rounds_ingested += 1;
     }
 
@@ -363,10 +470,43 @@ impl Session {
 
     /// Decodes every queued round in arrival order, each under the
     /// per-round budget. The session hot loop: no allocation once warm.
-    fn drain_inbox(&mut self, budget: u64) {
+    ///
+    /// `obs` is `Some((bundle, stripe))` when the owning service has
+    /// telemetry enabled; everything recorded through it is derived from
+    /// state this loop already computes, so the decode results are
+    /// identical either way.
+    fn drain_inbox(&mut self, budget: u64, obs: Option<(&ServiceTelemetry, usize)>) {
         self.compact_corrections();
+        if self.inbox.is_empty() {
+            return;
+        }
+        // Wall-clock sampling: one drain in STAGE_SAMPLE_PERIOD (per
+        // stripe) measures the decode stage; `max(1)` so 0 keeps meaning
+        // "unsampled".
+        let mut drain_start = 0u64;
+        if let Some((t, stripe)) = obs {
+            if t.drains.tick(stripe).is_multiple_of(STAGE_SAMPLE_PERIOD) {
+                drain_start = t.tracer.now_ns().max(1);
+            }
+        }
+        let corrections_before = self.corrections.len();
+        let cycles_before = self.latency.total_cycles;
+        let rounds_before = self.latency.rounds;
+        // Lazily-taken timestamp shared by this batch's queue-wait
+        // samples; one clock read per drain at most.
+        let mut batch_now = drain_start;
         while let Some(round) = self.inbox.pop_front() {
+            let stamp = self.stamps.pop_front().unwrap_or(0);
             if !self.overflowed {
+                if let Some((t, stripe)) = obs {
+                    if stamp != 0 {
+                        if batch_now == 0 {
+                            batch_now = t.tracer.now_ns().max(1);
+                        }
+                        t.tracer
+                            .record(Stage::QueueWait, stripe, batch_now.saturating_sub(stamp));
+                    }
+                }
                 match self.backend.ingest(&round) {
                     Ok(()) => {
                         self.backend.decode_step(Some(budget), &mut self.scratch);
@@ -379,6 +519,22 @@ impl Session {
             }
             self.spare.push(round);
         }
+        if let Some((t, stripe)) = obs {
+            let decoded = self.latency.rounds - rounds_before;
+            if decoded > 0 {
+                t.rounds_decoded.add(stripe, decoded);
+                t.busy_cycles
+                    .add(stripe, self.latency.total_cycles - cycles_before);
+            }
+            if drain_start != 0 {
+                let end = t.tracer.now_ns().max(1);
+                t.tracer
+                    .record(Stage::Decode, stripe, end.saturating_sub(drain_start));
+                if self.corrections.len() > corrections_before {
+                    self.last_emit_ns = end;
+                }
+            }
+        }
     }
 
     /// End-of-stream: rounds still queued are ingested *without* a
@@ -390,6 +546,7 @@ impl Session {
     /// separately in the [`SessionReport`] rather than folded into
     /// [`LatencyStats`], which tracks only budget-bound serving rounds.
     fn finish(&mut self) -> u64 {
+        self.stamps.clear();
         while let Some(round) = self.inbox.pop_front() {
             if !self.overflowed && self.backend.ingest(&round).is_err() {
                 self.overflowed = true;
@@ -460,6 +617,9 @@ struct PoolShared {
     /// Worker threads that have exited their loop (observability for
     /// shutdown tests; `pump` never reads it).
     exited: AtomicUsize,
+    /// Telemetry bundle workers record steals/parks/wakes and drain
+    /// metrics through; `None` when the service's telemetry is off.
+    obs: Option<Arc<ServiceTelemetry>>,
 }
 
 /// The persistent pump worker pool: threads spawn once — at the first
@@ -472,12 +632,13 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn spawn(workers: usize) -> Self {
+    fn spawn(workers: usize, obs: Option<Arc<ServiceTelemetry>>) -> Self {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue::default()),
             work_ready: Condvar::new(),
             batch_done: Condvar::new(),
             exited: AtomicUsize::new(0),
+            obs,
         });
         let mut pool = Self {
             shared,
@@ -496,7 +657,9 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("qecool-pump-{i}"))
                 .spawn(move || {
-                    Self::worker_loop(&shared);
+                    // Stripe i+1: stripe 0 belongs to the caller-inline
+                    // drain paths, so worker cells never share with it.
+                    Self::worker_loop(&shared, i + 1);
                     shared.exited.fetch_add(1, Ordering::Release);
                 })
                 .expect("spawn pump worker");
@@ -504,16 +667,21 @@ impl WorkerPool {
         }
     }
 
-    fn worker_loop(shared: &PoolShared) {
+    fn worker_loop(shared: &PoolShared, stripe: usize) {
+        let obs = shared.obs.as_deref();
         let mut queue = shared.queue.lock();
         loop {
             if let Some(mut job) = queue.pending.pop_front() {
                 drop(queue);
+                if let Some(t) = obs {
+                    t.steals.add(stripe, 1);
+                }
                 // Catch unwinds so a panicking decoder cannot strand
                 // `pump` waiting for a job that will never finish; the
                 // payload is re-raised on the pump caller's thread.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    job.session.drain_inbox(job.budget);
+                    job.session
+                        .drain_inbox(job.budget, obs.map(|t| (t, stripe)));
                     job
                 }));
                 queue = shared.queue.lock();
@@ -533,7 +701,13 @@ impl WorkerPool {
             if queue.shutdown {
                 return;
             }
+            if let Some(t) = obs {
+                t.parks.add(stripe, 1);
+            }
             queue = shared.work_ready.wait(queue);
+            if let Some(t) = obs {
+                t.wakes.add(stripe, 1);
+            }
         }
     }
 
@@ -568,6 +742,8 @@ pub struct DecodeService {
     /// Total worker threads ever spawned — the spawn-counting hook the
     /// pool-reuse tests (and curious operators) read.
     workers_spawned: usize,
+    /// Telemetry bundle; `None` when the config's handle is disabled.
+    obs: Option<Arc<ServiceTelemetry>>,
 }
 
 impl fmt::Debug for DecodeService {
@@ -588,6 +764,10 @@ impl DecodeService {
     pub fn new(config: ServiceConfig) -> Result<Self, LatticeError> {
         let lattice = Lattice::new(config.d)?;
         let budget_cycles = config.budget.cycles_per_round();
+        let obs = config
+            .telemetry
+            .registry()
+            .map(|registry| Arc::new(ServiceTelemetry::new(registry)));
         Ok(Self {
             lattice,
             config,
@@ -596,6 +776,7 @@ impl DecodeService {
             free: Vec::new(),
             pool: None,
             workers_spawned: 0,
+            obs,
         })
     }
 
@@ -628,6 +809,10 @@ impl DecodeService {
     /// Opens a new session and returns its handle. Slots of closed
     /// sessions are recycled; their old handles stay invalid.
     pub fn open_session(&mut self) -> SessionId {
+        if let Some(t) = self.obs.as_deref() {
+            t.sessions_opened.add(thread_stripe(), 1);
+            t.sessions_open.inc();
+        }
         let session = Session::new(self.make_backend(), self.budget_cycles);
         if let Some(index) = self.free.pop() {
             let slot = &mut self.slots[index as usize];
@@ -651,7 +836,14 @@ impl DecodeService {
     }
 
     fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServiceError> {
-        self.slots
+        Self::session_mut_in(&mut self.slots, id)
+    }
+
+    /// Slot-table-only variant of [`Self::session_mut`], so hot paths
+    /// can borrow the telemetry handle (`self.obs`) immutably alongside
+    /// the mutable session borrow instead of cloning the `Arc` per call.
+    fn session_mut_in(slots: &mut [Slot], id: SessionId) -> Result<&mut Session, ServiceError> {
+        slots
             .get_mut(id.index as usize)
             .filter(|slot| slot.generation == id.generation)
             .and_then(|slot| slot.session.as_mut())
@@ -683,7 +875,33 @@ impl DecodeService {
         id: SessionId,
         round: &DetectionRound,
     ) -> Result<(), ServiceError> {
+        self.push_round_stamped(id, round, None)
+    }
+
+    /// Ingest core shared by the solo path and the sharded ring drain.
+    /// `stamp_ns` is `Some` when an upstream stage (the ingest ring)
+    /// already made the sampling decision (0 = unsampled); `None` lets
+    /// this method sample 1-in-N of its own pushes.
+    pub(crate) fn push_round_stamped(
+        &mut self,
+        id: SessionId,
+        round: &DetectionRound,
+        stamp_ns: Option<u64>,
+    ) -> Result<(), ServiceError> {
         let width = self.lattice.num_ancillas();
+        let stamp = match self.obs.as_deref() {
+            Some(t) => {
+                let tick = t.ingest.tick(thread_stripe());
+                Some(stamp_ns.unwrap_or_else(|| {
+                    if tick.is_multiple_of(STAGE_SAMPLE_PERIOD) {
+                        t.tracer.now_ns().max(1)
+                    } else {
+                        0
+                    }
+                }))
+            }
+            None => None,
+        };
         let session = self.session_mut(id)?;
         if session.overflowed {
             return Err(ServiceError::Overflowed);
@@ -693,7 +911,7 @@ impl DecodeService {
             width,
             "round width does not match service lattice"
         );
-        session.enqueue(round);
+        session.enqueue(round, stamp);
         Ok(())
     }
 
@@ -724,8 +942,20 @@ impl DecodeService {
     /// overflow (the stream is failed; corrections are withdrawn).
     pub fn poll_corrections(&mut self, id: SessionId) -> Result<&[Edge], ServiceError> {
         let budget = self.budget_cycles;
-        let session = self.session_mut(id)?;
-        session.drain_inbox(budget);
+        let obs = self.obs.as_deref();
+        let stripe = if obs.is_some() { thread_stripe() } else { 0 };
+        let session = Self::session_mut_in(&mut self.slots, id)?;
+        // Poll-to-drain: corrections produced by an earlier (sampled)
+        // pump drain have been sitting since `last_emit_ns`; this poll
+        // is the moment the caller finally collects them.
+        if let Some(t) = obs {
+            if session.last_emit_ns != 0 {
+                let waited = t.tracer.now_ns().saturating_sub(session.last_emit_ns);
+                t.tracer.record(Stage::PollDrain, stripe, waited);
+                session.last_emit_ns = 0;
+            }
+        }
+        session.drain_inbox(budget, obs.map(|t| (t, stripe)));
         if session.overflowed {
             return Err(ServiceError::Overflowed);
         }
@@ -770,6 +1000,11 @@ impl DecodeService {
     /// caller's thread and the pool is neither consulted nor spawned.
     pub fn pump(&mut self) {
         let budget = self.budget_cycles;
+        let obs = self.obs.clone();
+        let stripe = if obs.is_some() { thread_stripe() } else { 0 };
+        if let Some(t) = obs.as_deref() {
+            t.pump_calls.add(stripe, 1);
+        }
         let pending = self
             .slots
             .iter()
@@ -782,7 +1017,7 @@ impl DecodeService {
             // Fast path: ≤ 1 busy session needs no pool at all.
             for slot in &mut self.slots {
                 if let Some(session) = &mut slot.session {
-                    session.drain_inbox(budget);
+                    session.drain_inbox(budget, obs.as_deref().map(|t| (t, stripe)));
                 }
             }
             return;
@@ -802,7 +1037,8 @@ impl DecodeService {
             }
             None => {
                 self.workers_spawned += workers;
-                self.pool.insert(WorkerPool::spawn(workers))
+                self.pool
+                    .insert(WorkerPool::spawn(workers, self.obs.clone()))
             }
         };
         let mut submitted = 0usize;
@@ -911,6 +1147,14 @@ impl DecodeService {
         } else {
             session.corrections.split_off(session.consumed)
         };
+        if let Some(t) = self.obs.as_deref() {
+            let stripe = thread_stripe();
+            t.sessions_closed.add(stripe, 1);
+            t.sessions_open.dec();
+            if session.overflowed {
+                t.sessions_overflowed.add(stripe, 1);
+            }
+        }
         Ok(SessionReport {
             corrections,
             latency: session.latency,
@@ -1403,6 +1647,37 @@ mod tests {
         assert!(lat.max_cycles <= lat.total_cycles);
         assert!(lat.mean_cycles() > 0.0);
         assert!(lat.mean_utilisation() > 0.0);
+    }
+
+    /// Pins the zero-denominator behaviour of the latency means: a
+    /// session with no decoded rounds (or a zero budget) must report
+    /// 0.0, never NaN/∞ — dashboards divide by these numbers.
+    #[test]
+    fn latency_means_are_zero_not_nan_for_empty_sessions() {
+        let empty = LatencyStats::default();
+        assert_eq!(empty.rounds, 0);
+        assert_eq!(empty.mean_cycles(), 0.0);
+        assert_eq!(empty.mean_utilisation(), 0.0);
+
+        // Rounds without a budget: utilisation is undefined, pinned to 0.
+        let unbudgeted = LatencyStats {
+            rounds: 4,
+            total_cycles: 400,
+            ..LatencyStats::default()
+        };
+        assert_eq!(unbudgeted.mean_cycles(), 100.0);
+        assert_eq!(unbudgeted.mean_utilisation(), 0.0);
+
+        // A freshly opened session reports the same clean zeros through
+        // the service API.
+        let mut service = service(ServiceBackend::Qecool, 1);
+        let id = service.open_session();
+        let lat = service.latency(id).unwrap();
+        assert_eq!(lat.rounds, 0);
+        assert_eq!(lat.mean_cycles(), 0.0);
+        assert_eq!(lat.mean_utilisation(), 0.0);
+        assert!(lat.mean_cycles().is_finite());
+        assert!(lat.mean_utilisation().is_finite());
     }
 
     /// A backend whose decode step always panics — stands in for any

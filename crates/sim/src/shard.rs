@@ -42,20 +42,35 @@
 //! guarantees — so per-session output is byte-identical across **any**
 //! shard count × pump-worker count combination (enforced in
 //! `tests/determinism.rs` over 1/2/8 workers × 1/2/4 shards).
+//!
+//! # Telemetry
+//!
+//! With a [`TelemetryHandle`](qecool_obs::TelemetryHandle) enabled on
+//! the service config, every shard additionally maintains the
+//! per-shard `qecool_shard_enqueued_total` / `qecool_shard_drained_total`
+//! / `qecool_shard_stalls_total` / `qecool_shard_dropped_total` /
+//! `qecool_shard_backpressure_total` counters (labelled `shard="i"`),
+//! on top of the ring- and service-level series. All counters mirror
+//! accounting the fabric already performs — enabling them cannot change
+//! routing, ordering, or any decode result, so the byte-identity
+//! determinism guarantee holds with telemetry on.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use qecool_obs::counters::thread_stripe;
+use qecool_obs::{Counter, MetricsRegistry};
 use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError};
 
-use crate::ring::IngestRing;
+use crate::ring::{IngestRing, RingTelemetry};
 use crate::service::{
     DecodeService, LatencyStats, ServiceConfig, ServiceError, SessionId, SessionReport,
 };
 
 /// Configuration of a [`ShardedDecodeService`]: the per-shard service
 /// configuration plus the fabric geometry.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardedServiceConfig {
     /// Configuration every shard's [`DecodeService`] is built from. Its
     /// `threads` field is the **total** worker budget: it is divided
@@ -108,6 +123,11 @@ pub struct ShardStats {
     /// Rounds discarded at drain: their session's stream had failed, or
     /// their handle was stale/unknown.
     pub dropped: u64,
+    /// Non-blocking pushes ([`ShardedDecodeService::try_push_round`])
+    /// rejected because the ring was full. Unlike `stalls`, these rounds
+    /// were *not* delivered — the caller chose to hear about
+    /// backpressure instead of paying the inline drain.
+    pub backpressure: u64,
 }
 
 impl ShardStats {
@@ -116,7 +136,55 @@ impl ShardStats {
         self.drained += other.drained;
         self.stalls += other.stalls;
         self.dropped += other.dropped;
+        self.backpressure += other.backpressure;
     }
+}
+
+/// Per-shard registry-backed counters, labelled `shard="i"`; mirror the
+/// shard's atomic [`ShardStats`] accounting one-for-one.
+struct ShardTelemetry {
+    enqueued: Arc<Counter>,
+    drained: Arc<Counter>,
+    stalls: Arc<Counter>,
+    dropped: Arc<Counter>,
+    backpressure: Arc<Counter>,
+}
+
+impl ShardTelemetry {
+    fn new(registry: &Arc<MetricsRegistry>, shard: usize) -> Self {
+        let label = shard.to_string();
+        let counter = |name, help| registry.counter_labeled(name, Some(("shard", &label)), help);
+        Self {
+            enqueued: counter(
+                "qecool_shard_enqueued_total",
+                "Rounds accepted into this shard's ring",
+            ),
+            drained: counter(
+                "qecool_shard_drained_total",
+                "Rounds drained from this shard's ring into live sessions",
+            ),
+            stalls: counter(
+                "qecool_shard_stalls_total",
+                "Blocking pushes that found the ring full and drained inline",
+            ),
+            dropped: counter(
+                "qecool_shard_dropped_total",
+                "Rounds discarded at drain (failed or stale sessions)",
+            ),
+            backpressure: counter(
+                "qecool_shard_backpressure_total",
+                "Non-blocking pushes rejected because the ring was full",
+            ),
+        }
+    }
+}
+
+/// Per-drain delivery tally, flushed to the shard's atomics (and, when
+/// telemetry is on, the registry counters) once per drain batch.
+#[derive(Default)]
+struct DrainCounts {
+    drained: u64,
+    dropped: u64,
 }
 
 /// One shard: a solo service behind a lock, fed by a lock-free ring.
@@ -127,6 +195,8 @@ struct Shard {
     drained: AtomicU64,
     stalls: AtomicU64,
     dropped: AtomicU64,
+    backpressure: AtomicU64,
+    obs: Option<ShardTelemetry>,
 }
 
 impl Shard {
@@ -136,6 +206,7 @@ impl Shard {
             drained: self.drained.load(Ordering::Relaxed),
             stalls: self.stalls.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
         }
     }
 }
@@ -183,18 +254,26 @@ impl ShardedDecodeService {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         };
+        let registry = config.service.telemetry.registry().cloned();
         let shard_config = config
             .service
+            .clone()
             .with_threads((total_workers / config.shards).max(1));
         let shards = (0..config.shards)
-            .map(|_| {
+            .map(|i| {
                 Ok(Shard {
-                    service: Mutex::new(DecodeService::new(shard_config)?),
-                    ring: IngestRing::new(config.ring_capacity, width),
+                    service: Mutex::new(DecodeService::new(shard_config.clone())?),
+                    ring: IngestRing::with_telemetry(
+                        config.ring_capacity,
+                        width,
+                        registry.as_ref().map(RingTelemetry::new),
+                    ),
                     enqueued: AtomicU64::new(0),
                     drained: AtomicU64::new(0),
                     stalls: AtomicU64::new(0),
                     dropped: AtomicU64::new(0),
+                    backpressure: AtomicU64::new(0),
+                    obs: registry.as_ref().map(|r| ShardTelemetry::new(r, i)),
                 })
             })
             .collect::<Result<Vec<_>, LatticeError>>()?;
@@ -245,40 +324,62 @@ impl ShardedDecodeService {
     }
 
     /// Delivers one drained ring round into the shard's service, with
-    /// drop accounting. Caller holds the shard's service lock.
+    /// drop accounting tallied into `counts` (the caller flushes the
+    /// batch once per drain). Caller holds the shard's service lock.
     fn deliver(
         &self,
-        shard: &Shard,
         service: &mut DecodeService,
         id: SessionId,
         round: &DetectionRound,
+        stamp_ns: u64,
+        counts: &mut DrainCounts,
     ) {
         let local = self.localize(id);
-        match service.push_round(local, round) {
-            Ok(()) => {
-                shard.drained.fetch_add(1, Ordering::Relaxed);
-            }
+        match service.push_round_stamped(local, round, Some(stamp_ns)) {
+            Ok(()) => counts.drained += 1,
             Err(ServiceError::Overflowed) => {
                 // The stream already failed; bill the drop to the
                 // session so its close report accounts for it.
                 let _ = service.record_dropped_round(local);
-                shard.dropped.fetch_add(1, Ordering::Relaxed);
+                counts.dropped += 1;
             }
             Err(_) => {
                 // Stale or never-opened handle: nothing to bill.
-                shard.dropped.fetch_add(1, Ordering::Relaxed);
+                counts.dropped += 1;
             }
         }
     }
 
     /// Moves every queued ring round into the shard's session inboxes.
-    /// Caller holds the shard's service lock.
+    /// Accounting is batched: one atomic update per counter per drain,
+    /// not per round, keeping the drain loop itself atomic-free. Caller
+    /// holds the shard's service lock.
     fn drain_ring(&self, shard: &Shard, service: &mut DecodeService) {
+        let mut counts = DrainCounts::default();
         while shard
             .ring
-            .pop_with(|id, round| self.deliver(shard, service, id, round))
+            .pop_with_stamped(|id, round, stamp| {
+                self.deliver(service, id, round, stamp, &mut counts);
+            })
             .is_some()
         {}
+        if counts.drained > 0 {
+            shard.drained.fetch_add(counts.drained, Ordering::Relaxed);
+        }
+        if counts.dropped > 0 {
+            shard.dropped.fetch_add(counts.dropped, Ordering::Relaxed);
+        }
+        if let Some(obs) = &shard.obs {
+            if counts.drained > 0 || counts.dropped > 0 {
+                let stripe = thread_stripe();
+                if counts.drained > 0 {
+                    obs.drained.add(stripe, counts.drained);
+                }
+                if counts.dropped > 0 {
+                    obs.dropped.add(stripe, counts.dropped);
+                }
+            }
+        }
     }
 
     /// Enqueues one round for `id`'s session onto its shard's lock-free
@@ -297,6 +398,9 @@ impl ShardedDecodeService {
     pub fn push_round(&self, id: SessionId, round: &DetectionRound) {
         let shard = self.shard_for(id);
         shard.enqueued.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &shard.obs {
+            obs.enqueued.add(thread_stripe(), 1);
+        }
         if shard.ring.try_push(id, round).is_ok() {
             return;
         }
@@ -308,6 +412,9 @@ impl ShardedDecodeService {
         // the ring, violating per-session FIFO (and with it the
         // byte-identical determinism guarantee).
         shard.stalls.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &shard.obs {
+            obs.stalls.add(thread_stripe(), 1);
+        }
         loop {
             {
                 let mut service = shard.service.lock();
@@ -343,9 +450,18 @@ impl ShardedDecodeService {
         match shard.ring.try_push(id, round) {
             Ok(()) => {
                 shard.enqueued.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &shard.obs {
+                    obs.enqueued.add(thread_stripe(), 1);
+                }
                 Ok(())
             }
-            Err(_) => Err(ServiceError::Backpressure),
+            Err(_) => {
+                shard.backpressure.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &shard.obs {
+                    obs.backpressure.add(thread_stripe(), 1);
+                }
+                Err(ServiceError::Backpressure)
+            }
         }
     }
 

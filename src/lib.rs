@@ -11,7 +11,9 @@
 //!   contribution);
 //! * [`sfq`] — SFQ cell library, timing, power and refrigerator-budget
 //!   models;
-//! * [`sim`] — Monte-Carlo engine, statistics and experiment drivers.
+//! * [`sim`] — Monte-Carlo engine, statistics and experiment drivers;
+//! * [`obs`] — lock-free telemetry: striped counters, stage-latency
+//!   histograms and the metrics registry/exposition layer.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -19,6 +21,7 @@
 
 pub use qecool as decoder;
 pub use qecool_mwpm as mwpm;
+pub use qecool_obs as obs;
 pub use qecool_sfq as sfq;
 pub use qecool_sim as sim;
 pub use qecool_surface_code as surface_code;
@@ -27,6 +30,7 @@ pub use qecool_uf as uf;
 // The long-lived decoding service is the workspace's primary serving
 // surface; surface it (and its budget type) at the crate root so
 // downstream users don't need to know which member crate owns what.
+pub use qecool_obs::{MetricsRegistry, Snapshot, TelemetryHandle};
 pub use qecool_sfq::budget::CycleBudget;
 pub use qecool_sim::service::{
     DecodeService, LatencyStats, ServiceBackend, ServiceConfig, ServiceError, SessionId,

@@ -7,7 +7,7 @@ use qecool_repro::sim::{
 use qecool_repro::surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
 use qecool_repro::{
     CycleBudget, DecodeService, ServiceBackend, ServiceConfig, SessionId, ShardedDecodeService,
-    ShardedServiceConfig,
+    ShardedServiceConfig, TelemetryHandle,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -200,6 +200,89 @@ fn sharded_sessions_identical_across_shard_and_worker_counts() {
                 reference,
                 "{shards} shards x {threads} pump workers"
             );
+        }
+    }
+}
+
+/// Telemetry is observational only: enabling a live metrics registry on
+/// the fabric must not perturb a single correction byte, at any shard ×
+/// worker combination — and the counters must actually move, so this
+/// doubles as a liveness check on the instrumented hot paths.
+#[test]
+fn sharded_sessions_identical_with_telemetry_enabled() {
+    let sessions = 6usize;
+    let rounds = 5usize;
+    let lattice = Lattice::new(5).unwrap();
+    let noise = PhenomenologicalNoise::symmetric(0.04);
+
+    let run = |shards: usize, threads: usize, telemetry: TelemetryHandle| -> Vec<Vec<Edge>> {
+        let config = ServiceConfig::new(5, ServiceBackend::Qecool, CycleBudget::at_clock(2.0e9))
+            .with_threads(threads)
+            .with_telemetry(telemetry.clone());
+        let service = ShardedDecodeService::new(ShardedServiceConfig::new(config, shards)).unwrap();
+        let ids: Vec<SessionId> = (0..sessions).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..sessions)
+            .map(|_| CodePatch::new(lattice.clone()))
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..sessions)
+            .map(|s| ChaCha8Rng::seed_from_u64(4242 + s as u64))
+            .collect();
+        let mut collected: Vec<Vec<Edge>> = vec![Vec::new(); sessions];
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        for _ in 0..rounds {
+            for s in 0..sessions {
+                patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
+                service.push_round(ids[s], &round);
+            }
+            service.pump();
+            for s in 0..sessions {
+                let fresh = service.poll_corrections(ids[s]).unwrap();
+                patches[s].apply_corrections(fresh.iter().copied());
+                collected[s].extend(fresh);
+            }
+        }
+        for s in 0..sessions {
+            patches[s].perfect_round_into(&mut round);
+            service.push_round(ids[s], &round);
+            collected[s].extend(service.close_session(ids[s]).unwrap().corrections);
+        }
+        collected
+    };
+
+    let reference = run(1, 1, TelemetryHandle::disabled());
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 2, 8] {
+            let telemetry = TelemetryHandle::enabled();
+            assert_eq!(
+                run(shards, threads, telemetry.clone()),
+                reference,
+                "{shards} shards x {threads} pump workers with telemetry"
+            );
+            let snapshot = telemetry.snapshot().expect("enabled handle must snapshot");
+            // Every session pushes `rounds` noisy rounds plus one final
+            // perfect round; the final round decodes in the close's
+            // unbudgeted drain, so it is ingested but not counted as a
+            // budget-bound decoded round.
+            let pushed = (sessions * (rounds + 1)) as u64;
+            let decoded = (sessions * rounds) as u64;
+            for (counter, expected) in [
+                ("qecool_ring_push_total", pushed),
+                ("qecool_ring_pop_total", pushed),
+                ("qecool_shard_enqueued_total", pushed),
+                ("qecool_shard_drained_total", pushed),
+                ("qecool_service_ingest_total", pushed),
+                ("qecool_service_rounds_decoded_total", decoded),
+                ("qecool_sessions_opened_total", sessions as u64),
+                ("qecool_sessions_closed_total", sessions as u64),
+            ] {
+                assert_eq!(
+                    snapshot.counter_total(counter),
+                    expected,
+                    "{counter} at {shards} shards x {threads} workers"
+                );
+            }
+            assert_eq!(snapshot.counter_total("qecool_shard_dropped_total"), 0);
+            assert_eq!(snapshot.gauge("qecool_sessions_open"), Some(0));
         }
     }
 }
