@@ -13,7 +13,7 @@
 //! ```
 
 use qecool_bench::{fmt_rate, Options, TextTable};
-use qecool_sim::{DecoderKind, TrialConfig};
+use qecool_sim::{derive_seed, DecoderKind, TrialConfig};
 
 fn main() {
     let opts = Options::parse(600);
@@ -52,10 +52,15 @@ fn main() {
     for thv in [1usize, 2, 3, 4, 5] {
         for d in [5usize, 9] {
             let p = 0.008;
+            // Each (thv, d) cell runs on its own derive_seed stream —
+            // no more `seed + s` arithmetic whose streams overlap
+            // between cells and adjacent base seeds.
+            let stream = 100 + (thv * 2 + usize::from(d == 9)) as u64;
             let mut failures = 0;
             let mut overflows = 0;
             for s in 0..opts.shots {
-                let out = run_custom_online(d, p, thv, 7, 2000, opts.seed + s as u64);
+                let out =
+                    run_custom_online(d, p, thv, 7, 2000, derive_seed(opts.seed, stream, s as u64));
                 failures += usize::from(out.0);
                 overflows += usize::from(out.1);
             }
@@ -75,10 +80,12 @@ fn main() {
     for cap in [5usize, 7, 9] {
         for d in [11usize, 13] {
             let p = 0.01;
+            let stream = 200 + (cap * 2 + usize::from(d == 13)) as u64;
             let mut failures = 0;
             let mut overflows = 0;
             for s in 0..opts.shots {
-                let out = run_custom_online(d, p, 3, cap, 1000, opts.seed + s as u64);
+                let out =
+                    run_custom_online(d, p, 3, cap, 1000, derive_seed(opts.seed, stream, s as u64));
                 failures += usize::from(out.0);
                 overflows += usize::from(out.1);
             }

@@ -44,6 +44,7 @@ use qecool_bench::{
 };
 use qecool_obs::{Snapshot, TelemetryHandle};
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
+use qecool_sim::campaign::derive_seed;
 use qecool_sim::ring::IngestRing;
 use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId};
 use qecool_sim::shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
@@ -281,7 +282,9 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
         .map(|_| CodePatch::new(lattice.clone()))
         .collect();
     let mut rngs: Vec<ChaCha8Rng> = (0..opts.sessions)
-        .map(|s| ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64)))
+        // Session `s` noise comes from derive_seed stream `s`: adjacent
+        // base seeds no longer share all-but-one session stream.
+        .map(|s| ChaCha8Rng::seed_from_u64(derive_seed(opts.seed, s as u64, 0)))
         .collect();
     // One round buffer per session so a whole benchmark round can go
     // through the batched ring-ingest path in one call.

@@ -1,0 +1,138 @@
+//! Checkpointable logical-error-rate sweep: the campaign-runner front
+//! door, and the binary the CI kill/resume smoke leg drives.
+//!
+//! Runs a fixed `(d × p)` batch-QECOOL sweep under phenomenological
+//! noise through [`qecool_sim::CampaignRunner`]: deterministic chunked
+//! execution,
+//! optional `--target-ci` adaptive stop rule, and `--checkpoint`
+//! atomic checkpoint files a later `--resume` run continues from —
+//! byte-identically to an uninterrupted run.
+//!
+//! ```text
+//! # uninterrupted reference
+//! sweep --shots 120 --results ref.json
+//! # crash mid-campaign (aborts like SIGKILL, after checkpointing)...
+//! sweep --shots 120 --checkpoint cp.json --kill-after-chunks 3 --results out.json
+//! # ...resume, and the outputs match byte for byte
+//! sweep --shots 120 --checkpoint cp.json --resume --results out.json
+//! cmp ref.json out.json
+//! ```
+//!
+//! Corrupt, truncated, version- or job-list-mismatched checkpoints exit
+//! 2 with a named error (never a silent fresh start).
+
+use qecool::json::{obj, Json};
+use qecool_bench::{fmt_rate, perf::BenchRecord, Options, TextTable};
+use qecool_sim::{
+    CampaignJob, CampaignReport, CampaignStatus, DecoderKind, JobStatus, NoiseKind, TrialConfig,
+};
+
+/// The sweep grid: small enough for CI smoke runs, wide enough to give
+/// the adaptive stop rule points of genuinely different CI widths.
+const DS: [usize; 2] = [3, 5];
+const PS: [f64; 3] = [0.005, 0.01, 0.02];
+
+fn status_str(status: CampaignStatus) -> &'static str {
+    match status {
+        CampaignStatus::QuotaComplete => "quota_complete",
+        CampaignStatus::Converged => "converged",
+        CampaignStatus::BudgetExhausted => "budget_exhausted",
+    }
+}
+
+fn job_status_str(status: JobStatus) -> &'static str {
+    match status {
+        JobStatus::QuotaDone => "quota_done",
+        JobStatus::Converged => "converged",
+        JobStatus::BudgetExhausted => "budget_exhausted",
+    }
+}
+
+/// Renders the campaign report as deterministic JSON — integer counters
+/// exact, floats in shortest-round-trip form, key order fixed — so two
+/// equal reports produce byte-identical files.
+fn render_results(jobs: &[CampaignJob], report: &CampaignReport) -> String {
+    let points: Vec<Json> = jobs
+        .iter()
+        .zip(&report.results)
+        .zip(&report.job_status)
+        .map(|((job, mc), &status)| {
+            let est = mc.logical_error_rate();
+            let (ci_lo, ci_hi) = est.clopper_pearson_interval();
+            obj([
+                ("d", Json::UInt(job.trial.d as u128)),
+                ("p", Json::Num(job.trial.p)),
+                ("shots", Json::UInt(mc.shots as u128)),
+                ("failures", Json::UInt(mc.failures as u128)),
+                ("overflows", Json::UInt(mc.overflows as u128)),
+                ("matches", Json::UInt(u128::from(mc.matches))),
+                ("rate", Json::Num(est.rate())),
+                ("ci_lo", Json::Num(ci_lo)),
+                ("ci_hi", Json::Num(ci_hi)),
+                ("status", Json::Str(job_status_str(status).to_owned())),
+            ])
+        })
+        .collect();
+    let mut out = obj([
+        ("status", Json::Str(status_str(report.status).to_owned())),
+        ("points", Json::Arr(points)),
+    ])
+    .render();
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let (opts, campaign) = Options::parse_campaign(200);
+    let engine = opts.engine();
+    let start = std::time::Instant::now();
+
+    let jobs: Vec<CampaignJob> = DS
+        .iter()
+        .flat_map(|&d| {
+            PS.iter().map(move |&p| CampaignJob {
+                trial: TrialConfig {
+                    d,
+                    p,
+                    rounds: d,
+                    decoder: DecoderKind::BatchQecool,
+                    noise: NoiseKind::Phenomenological,
+                    boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
+                },
+                shots: opts.shots,
+            })
+        })
+        .collect();
+
+    let mut runner = campaign.runner(&engine, jobs.clone(), opts.seed);
+    let report = campaign.drive(&mut runner);
+
+    let mut table = TextTable::new(["d", "p", "shots", "failures", "rate (CP 95%)", "status"]);
+    for ((job, mc), &status) in jobs.iter().zip(&report.results).zip(&report.job_status) {
+        table.row([
+            job.trial.d.to_string(),
+            format!("{}", job.trial.p),
+            mc.shots.to_string(),
+            mc.failures.to_string(),
+            fmt_rate(mc.logical_error_rate()),
+            job_status_str(status).to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "campaign: {} ({} chunks, {} shots this run)",
+        status_str(report.status),
+        report.chunks_run,
+        report.shots_run
+    );
+    opts.write_csv(&table.to_csv());
+    campaign.write_results(&render_results(&jobs, &report));
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let shots = engine.tally().shots();
+    opts.write_bench_json(
+        &BenchRecord::new("sweep", shots as f64 / elapsed.max(1e-12))
+            .with("shots", shots as f64)
+            .with("wall_seconds", elapsed),
+    );
+}

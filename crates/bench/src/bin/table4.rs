@@ -10,67 +10,160 @@
 //! cargo run --release -p qecool-bench --bin table4 \
 //!     [-- --shots N --fast --out table4.csv --json BENCH_table4.json]
 //! ```
+//!
+//! With any of `--checkpoint`/`--resume`/`--target-ci` the four
+//! threshold sweeps run as **one checkpointed campaign** (see the
+//! `sweep` binary and `qecool_sim::campaign`): preemption-proof, with
+//! byte-identical resume.
 
-use qecool_bench::{perf::BenchRecord, Options, TextTable};
+use qecool_bench::{perf::BenchRecord, CampaignOpts, Options, TextTable};
 use qecool_sfq::compare::{table4_literature_rows, table4_paper_qecool_row};
-use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecodeEngine, DecoderKind, NoiseKind};
+use qecool_sim::{
+    estimate_threshold, log_grid, sweep_on, CampaignJob, DecodeEngine, DecoderKind, NoiseKind,
+    Sweep, SweepPoint, TrialConfig,
+};
+
+/// One of the four threshold campaigns a table4 run measures.
+struct ThresholdSpec {
+    label: &'static str,
+    noise: NoiseKind,
+    decoder: DecoderKind,
+    ps: Vec<f64>,
+}
+
+const DS: [usize; 4] = [5, 7, 9, 11];
+
+fn specs() -> Vec<ThresholdSpec> {
+    vec![
+        ThresholdSpec {
+            label: "union-find 3-D",
+            noise: NoiseKind::Phenomenological,
+            decoder: DecoderKind::UnionFind,
+            ps: log_grid(0.01, 0.06, 7),
+        },
+        ThresholdSpec {
+            label: "union-find 2-D",
+            noise: NoiseKind::CodeCapacity,
+            decoder: DecoderKind::UnionFind,
+            ps: log_grid(0.03, 0.2, 7),
+        },
+        ThresholdSpec {
+            label: "QECOOL 2-D (code-capacity)",
+            noise: NoiseKind::CodeCapacity,
+            decoder: DecoderKind::BatchQecool,
+            ps: log_grid(0.01, 0.15, 8),
+        },
+        ThresholdSpec {
+            label: "QECOOL 3-D (on-line, 2 GHz)",
+            noise: NoiseKind::Phenomenological,
+            decoder: DecoderKind::OnlineQecool {
+                budget_cycles: 2000,
+            },
+            ps: log_grid(0.0015, 0.02, 8),
+        },
+    ]
+}
+
+fn spec_trial(spec: &ThresholdSpec, d: usize, p: f64) -> TrialConfig {
+    TrialConfig {
+        d,
+        p,
+        rounds: if spec.noise == NoiseKind::CodeCapacity {
+            1
+        } else {
+            d
+        },
+        decoder: spec.decoder,
+        noise: spec.noise,
+        boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
+    }
+}
 
 fn measured_threshold(
     engine: &DecodeEngine,
-    noise: NoiseKind,
-    decoder: DecoderKind,
-    ps: &[f64],
+    spec: &ThresholdSpec,
     shots: usize,
     seed: u64,
 ) -> Option<f64> {
-    let ds = [5, 7, 9, 11];
-    let result = sweep_on(engine, decoder, noise, &ds, ps, seed, |_, _| shots);
+    let result = sweep_on(
+        engine,
+        spec.decoder,
+        spec.noise,
+        &DS,
+        &spec.ps,
+        seed,
+        |_, _| shots,
+    );
     estimate_threshold(&result.curves()).map(|e| e.pth)
 }
 
+/// Campaign mode: all four threshold sweeps concatenated into one
+/// checkpointable job list (each job on its own global seed stream), so
+/// a multi-hour table4 run survives preemption and resumes
+/// byte-identically. Point seeds differ from the per-sweep streams of
+/// the non-campaign path, so the two modes are each self-consistent but
+/// not cross-comparable shot for shot.
+fn measured_thresholds_campaign(
+    engine: &DecodeEngine,
+    campaign: &CampaignOpts,
+    all: &[ThresholdSpec],
+    shots: usize,
+    seed: u64,
+) -> Vec<Option<f64>> {
+    let mut jobs = Vec::new();
+    let mut spans = Vec::new();
+    for spec in all {
+        let start = jobs.len();
+        for &d in &DS {
+            for &p in &spec.ps {
+                jobs.push(CampaignJob {
+                    trial: spec_trial(spec, d, p),
+                    shots,
+                });
+            }
+        }
+        spans.push(start..jobs.len());
+    }
+    let mut runner = campaign.runner(engine, jobs.clone(), seed);
+    let report = campaign.drive(&mut runner);
+    spans
+        .into_iter()
+        .map(|span| {
+            let sweep = Sweep {
+                points: span
+                    .map(|i| SweepPoint {
+                        d: jobs[i].trial.d,
+                        p: jobs[i].trial.p,
+                        mc: report.results[i].clone(),
+                    })
+                    .collect(),
+            };
+            estimate_threshold(&sweep.curves()).map(|e| e.pth)
+        })
+        .collect()
+}
+
 fn main() {
-    let opts = Options::parse(800);
+    let (opts, campaign) = Options::parse_campaign(800);
     let engine = opts.engine();
     let start = std::time::Instant::now();
 
-    eprintln!("measuring union-find 3-D threshold...");
-    let uf_3d = measured_threshold(
-        &engine,
-        NoiseKind::Phenomenological,
-        DecoderKind::UnionFind,
-        &log_grid(0.01, 0.06, 7),
-        opts.shots,
-        opts.seed,
-    );
-    eprintln!("measuring union-find 2-D threshold...");
-    let uf_2d = measured_threshold(
-        &engine,
-        NoiseKind::CodeCapacity,
-        DecoderKind::UnionFind,
-        &log_grid(0.03, 0.2, 7),
-        opts.shots,
-        opts.seed,
-    );
-    eprintln!("measuring QECOOL 2-D (code-capacity) threshold...");
-    let pth_2d = measured_threshold(
-        &engine,
-        NoiseKind::CodeCapacity,
-        DecoderKind::BatchQecool,
-        &log_grid(0.01, 0.15, 8),
-        opts.shots,
-        opts.seed,
-    );
-    eprintln!("measuring QECOOL 3-D (on-line, 2 GHz) threshold...");
-    let pth_3d = measured_threshold(
-        &engine,
-        NoiseKind::Phenomenological,
-        DecoderKind::OnlineQecool {
-            budget_cycles: 2000,
-        },
-        &log_grid(0.0015, 0.02, 8),
-        opts.shots,
-        opts.seed,
-    );
+    let all = specs();
+    let campaign_mode =
+        campaign.checkpoint.is_some() || campaign.resume || campaign.target_ci.is_some();
+    let thresholds: Vec<Option<f64>> = if campaign_mode {
+        eprintln!("measuring all four thresholds as one checkpointed campaign...");
+        measured_thresholds_campaign(&engine, &campaign, &all, opts.shots, opts.seed)
+    } else {
+        all.iter()
+            .map(|spec| {
+                eprintln!("measuring {} threshold...", spec.label);
+                measured_threshold(&engine, spec, opts.shots, opts.seed)
+            })
+            .collect()
+    };
+    let (uf_3d, uf_2d, pth_2d, pth_3d) =
+        (thresholds[0], thresholds[1], thresholds[2], thresholds[3]);
 
     let fmt_pth =
         |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{:.1}%", x * 100.0));

@@ -45,6 +45,20 @@ impl Options {
     /// arguments — notably `--threads 0`, which is rejected rather than
     /// silently handed to the engine.
     pub fn parse(default_shots: usize) -> Self {
+        Self::parse_internal(default_shots, None)
+    }
+
+    /// Like [`Self::parse`], but additionally accepts the campaign flag
+    /// set (`--checkpoint`, `--resume`, `--target-ci`, …) used by the
+    /// checkpoint/restart-capable bins (`sweep`, `table4`).
+    pub fn parse_campaign(default_shots: usize) -> (Self, CampaignOpts) {
+        let mut campaign = CampaignOpts::default();
+        let opts = Self::parse_internal(default_shots, Some(&mut campaign));
+        campaign.validate();
+        (opts, campaign)
+    }
+
+    fn parse_internal(default_shots: usize, mut campaign: Option<&mut CampaignOpts>) -> Self {
         let mut opts = Self {
             shots: default_shots,
             seed: 2021,
@@ -72,13 +86,27 @@ impl Options {
                 "--out" => opts.out = Some(require_value(&mut args, "--out")),
                 "--json" => opts.json = Some(require_value(&mut args, "--json")),
                 "--help" | "-h" => {
+                    let campaign_usage = if campaign.is_some() {
+                        " [--checkpoint FILE] [--resume] [--target-ci W] [--budget N] \
+                         [--chunk-shots N] [--round-chunks N] [--kill-after-chunks K] \
+                         [--results FILE]"
+                    } else {
+                        ""
+                    };
                     eprintln!(
                         "usage: [--shots N] [--seed S] [--fast] [--smoke] [--threads N] \
-                         [--out FILE] [--json FILE]"
+                         [--out FILE] [--json FILE]{campaign_usage}"
                     );
                     std::process::exit(0);
                 }
-                other => usage_error(&format!("unknown argument: {other}")),
+                other => {
+                    if let Some(c) = campaign.as_deref_mut() {
+                        if c.try_flag(other, &mut args) {
+                            continue;
+                        }
+                    }
+                    usage_error(&format!("unknown argument: {other}"));
+                }
             }
         }
         opts
@@ -104,6 +132,208 @@ impl Options {
     pub fn write_bench_json(&self, record: &perf::BenchRecord) {
         if let Some(path) = &self.json {
             perf::write_records(path, std::slice::from_ref(record));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// The campaign flag set of the checkpoint/restart-capable bins
+/// (parsed by [`Options::parse_campaign`]):
+///
+/// * `--checkpoint FILE` — write atomic checkpoints to `FILE` after
+///   every round (and read them back under `--resume`);
+/// * `--resume` — restore from the `--checkpoint` file instead of
+///   starting fresh; a missing, corrupt or mismatched checkpoint is a
+///   named exit-2 error, never a silent fresh start;
+/// * `--target-ci W` — adaptive stop rule: keep spending `--budget`
+///   extra shots until every point's 95% Clopper–Pearson interval is
+///   narrower than `W`;
+/// * `--budget N` — extra shots available to the stop rule (default 0);
+/// * `--chunk-shots N` / `--round-chunks N` — scheduling granularity
+///   (results never depend on either);
+/// * `--kill-after-chunks K` — crash simulation for the kill/resume CI
+///   leg: abort the process (after the round checkpoint at or after
+///   chunk `K`) the way SIGKILL would;
+/// * `--results FILE` — write the final per-point results as
+///   deterministic JSON (the byte-compare artifact of the CI leg).
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Checkpoint file path (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Resume from the checkpoint file (`--resume`).
+    pub resume: bool,
+    /// Target Clopper–Pearson CI width (`--target-ci`).
+    pub target_ci: Option<f64>,
+    /// Extra adaptive shot budget (`--budget`).
+    pub budget: u64,
+    /// Trials per chunk (`--chunk-shots`).
+    pub chunk_shots: usize,
+    /// Chunks per round / checkpoint interval (`--round-chunks`).
+    pub round_chunks: usize,
+    /// Abort the process after this many chunks (`--kill-after-chunks`).
+    pub kill_after_chunks: Option<u64>,
+    /// Deterministic results JSON path (`--results`).
+    pub results: Option<String>,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        Self {
+            checkpoint: None,
+            resume: false,
+            target_ci: None,
+            budget: 0,
+            chunk_shots: 64,
+            round_chunks: 8,
+            kill_after_chunks: None,
+            results: None,
+        }
+    }
+}
+
+impl CampaignOpts {
+    /// Consumes one campaign flag; `false` means the flag is not ours.
+    fn try_flag(&mut self, flag: &str, args: &mut impl Iterator<Item = String>) -> bool {
+        match flag {
+            "--checkpoint" => self.checkpoint = Some(require_value(args, "--checkpoint")),
+            "--resume" => self.resume = true,
+            "--target-ci" => {
+                let v = require_value(args, "--target-ci");
+                self.target_ci = Some(parse_or_die(&v, "--target-ci", "a CI width in (0, 1)"));
+            }
+            "--budget" => {
+                let v = require_value(args, "--budget");
+                self.budget = parse_or_die(&v, "--budget", "a non-negative shot count");
+            }
+            "--chunk-shots" => {
+                let v = require_value(args, "--chunk-shots");
+                self.chunk_shots = parse_or_die(&v, "--chunk-shots", "a positive integer");
+            }
+            "--round-chunks" => {
+                let v = require_value(args, "--round-chunks");
+                self.round_chunks = parse_or_die(&v, "--round-chunks", "a positive integer");
+            }
+            "--kill-after-chunks" => {
+                let v = require_value(args, "--kill-after-chunks");
+                self.kill_after_chunks =
+                    Some(parse_or_die(&v, "--kill-after-chunks", "a chunk count"));
+            }
+            "--results" => self.results = Some(require_value(args, "--results")),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Validates flag combinations, exiting 2 with a clear message on
+    /// nonsense (resume without a checkpoint path, out-of-range CI
+    /// targets, zero-sized chunks/rounds).
+    fn validate(&self) {
+        if self.resume && self.checkpoint.is_none() {
+            usage_error("--resume needs --checkpoint FILE to resume from");
+        }
+        if let Some(w) = self.target_ci {
+            if !(w > 0.0 && w < 1.0 && w.is_finite()) {
+                usage_error(&format!("--target-ci must be in (0, 1), got {w}"));
+            }
+        }
+        if self.chunk_shots == 0 {
+            usage_error("--chunk-shots must be >= 1");
+        }
+        if self.round_chunks == 0 {
+            usage_error("--round-chunks must be >= 1");
+        }
+    }
+
+    /// The stop rule these flags describe, if `--target-ci` was given.
+    pub fn stop_rule(&self) -> Option<qecool_sim::StopRule> {
+        self.target_ci.map(|target_ci_width| qecool_sim::StopRule {
+            target_ci_width,
+            extra_shot_budget: self.budget,
+        })
+    }
+
+    /// The campaign configuration these flags describe.
+    pub fn config(&self, base_seed: u64) -> qecool_sim::CampaignConfig {
+        qecool_sim::CampaignConfig {
+            base_seed,
+            chunk_shots: self.chunk_shots,
+            round_chunks: self.round_chunks,
+            stop: self.stop_rule(),
+        }
+    }
+
+    /// Builds (or, under `--resume`, restores) the campaign runner,
+    /// wiring in the checkpoint path and the `--kill-after-chunks`
+    /// crash hook. Exits 2 with the named [`CampaignError`] message on
+    /// any checkpoint problem.
+    ///
+    /// [`CampaignError`]: qecool_sim::CampaignError
+    pub fn runner<'a>(
+        &self,
+        engine: &'a qecool_sim::DecodeEngine,
+        jobs: Vec<qecool_sim::CampaignJob>,
+        base_seed: u64,
+    ) -> qecool_sim::CampaignRunner<'a> {
+        let config = self.config(base_seed);
+        let mut runner = if self.resume {
+            let path = self
+                .checkpoint
+                .as_deref()
+                .expect("validated: resume needs --checkpoint");
+            match qecool_sim::CampaignRunner::resume(engine, jobs, config, path.as_ref()) {
+                Ok(runner) => runner,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            let mut runner = qecool_sim::CampaignRunner::new(engine, jobs, config);
+            if let Some(path) = &self.checkpoint {
+                runner = runner.checkpoint_to(path);
+                // Seed the file right away so even a SIGKILL landing
+                // before the first round checkpoint leaves something a
+                // `--resume` run can restore (a zero-progress checkpoint
+                // resumes into exactly the fresh campaign).
+                if let Err(e) = runner.write_checkpoint(path.as_ref()) {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+            runner
+        };
+        if let Some(k) = self.kill_after_chunks {
+            runner = runner.interrupt_after_chunks(k);
+        }
+        runner
+    }
+
+    /// Drives `runner` to completion. When `--kill-after-chunks` fires
+    /// the process **aborts** — the deterministic stand-in for SIGKILL
+    /// the CI crash leg uses (state is on disk; the next `--resume` run
+    /// must reproduce the uninterrupted result byte-identically). Exits
+    /// 2 with the named error message on checkpoint failures.
+    pub fn drive(&self, runner: &mut qecool_sim::CampaignRunner<'_>) -> qecool_sim::CampaignReport {
+        match runner.run() {
+            Ok(qecool_sim::RunOutcome::Complete(report)) => report,
+            Ok(qecool_sim::RunOutcome::Interrupted { chunks_run }) => {
+                eprintln!("killed by --kill-after-chunks after {chunks_run} chunks; aborting");
+                std::process::abort();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Writes the deterministic results JSON to `--results` if given;
+    /// reports the path on stderr.
+    pub fn write_results(&self, json: &str) {
+        if let Some(path) = &self.results {
+            if let Err(e) = std::fs::write(path, json) {
+                usage_error(&format!("cannot write {path}: {e}"));
+            }
             eprintln!("wrote {path}");
         }
     }
@@ -237,8 +467,10 @@ pub const PAPER_DISTANCES: [usize; 5] = [5, 7, 9, 11, 13];
 
 /// Machine-readable perf records for the CI regression gate.
 ///
-/// The vendored `serde` is a no-op stub (no registry access), so this
-/// module hand-rolls the one JSON shape the gate needs: an array of flat
+/// The vendored `serde` is a no-op stub (no registry access), so the
+/// workspace hand-rolls its JSON: records here render through a small
+/// writer and parse through the shared [`qecool::json`] tree (which the
+/// campaign checkpoints also use). The shape is an array of flat
 /// objects with a string `"name"` and numeric metrics. `service_bench`
 /// and `table4` emit records via `--json`; the `perf_gate` binary merges
 /// them into `BENCH_pr.json` and compares throughput against the
@@ -317,40 +549,52 @@ pub mod perf {
     }
 
     /// Parses a `BENCH_*.json` file body: a single record object or an
-    /// array of them. Restricted JSON — flat objects, string or numeric
-    /// values, no escape sequences — which is exactly what
+    /// array of them, via the workspace's shared [`qecool::json`] tree
+    /// (the same parser the campaign checkpoints use). Flat objects
+    /// with a string `"name"` and numeric metrics — exactly what
     /// [`render_records`] produces.
     ///
     /// # Errors
     ///
     /// Returns a description of the first malformed construct.
     pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
-        let mut p = Parser {
-            rest: text.trim_start(),
+        use qecool::json::Json;
+        let root = Json::parse(text)?;
+        let objects: Vec<&Json> = match &root {
+            Json::Arr(items) => items.iter().collect(),
+            Json::Obj(_) => vec![&root],
+            _ => return Err("expected '[' or '{' at top level".into()),
         };
-        let mut records = Vec::new();
-        match p.peek() {
-            Some('[') => {
-                p.expect('[')?;
-                loop {
-                    p.skip_ws();
-                    if p.peek() == Some(']') {
-                        p.expect(']')?;
-                        break;
-                    }
-                    records.push(p.object()?);
-                    p.skip_ws();
-                    if p.peek() == Some(',') {
-                        p.expect(',')?;
+        let mut records = Vec::with_capacity(objects.len());
+        for object in objects {
+            let Some(fields) = object.as_obj() else {
+                return Err("expected a record object".into());
+            };
+            let mut record = BenchRecord::new("", f64::NAN);
+            for (key, value) in fields {
+                if key == "name" {
+                    record.name = value
+                        .as_str()
+                        .ok_or_else(|| "record \"name\" must be a string".to_owned())?
+                        .to_owned();
+                } else {
+                    let value = value
+                        .as_f64()
+                        .ok_or_else(|| format!("record field '{key}' must be a number"))?;
+                    if key == "throughput" {
+                        record.throughput = value;
+                    } else {
+                        record.extras.push((key.clone(), value));
                     }
                 }
             }
-            Some('{') => records.push(p.object()?),
-            _ => return Err("expected '[' or '{' at top level".into()),
-        }
-        p.skip_ws();
-        if !p.rest.is_empty() {
-            return Err(format!("trailing content: {:.20}...", p.rest));
+            if record.name.is_empty() {
+                return Err("record missing \"name\"".into());
+            }
+            if record.throughput.is_nan() {
+                return Err(format!("record '{}' missing \"throughput\"", record.name));
+            }
+            records.push(record);
         }
         Ok(records)
     }
@@ -577,91 +821,6 @@ pub mod perf {
                 }
             }
             Ok(report)
-        }
-    }
-
-    struct Parser<'a> {
-        rest: &'a str,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            self.rest = self.rest.trim_start();
-        }
-
-        fn peek(&self) -> Option<char> {
-            self.rest.chars().next()
-        }
-
-        fn expect(&mut self, c: char) -> Result<(), String> {
-            self.skip_ws();
-            if self.rest.starts_with(c) {
-                self.rest = &self.rest[c.len_utf8()..];
-                Ok(())
-            } else {
-                Err(format!("expected '{c}' at: {:.20}", self.rest))
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect('"')?;
-            match self.rest.find('"') {
-                Some(end) => {
-                    let s = &self.rest[..end];
-                    self.rest = &self.rest[end + 1..];
-                    Ok(s.to_owned())
-                }
-                None => Err("unterminated string".into()),
-            }
-        }
-
-        fn number(&mut self) -> Result<f64, String> {
-            self.skip_ws();
-            let end = self
-                .rest
-                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
-                .unwrap_or(self.rest.len());
-            let (token, rest) = self.rest.split_at(end);
-            self.rest = rest;
-            token
-                .parse()
-                .map_err(|_| format!("malformed number '{token}'"))
-        }
-
-        fn object(&mut self) -> Result<BenchRecord, String> {
-            self.expect('{')?;
-            let mut record = BenchRecord::new("", f64::NAN);
-            loop {
-                self.skip_ws();
-                if self.peek() == Some('}') {
-                    self.expect('}')?;
-                    break;
-                }
-                let key = self.string()?;
-                self.expect(':')?;
-                self.skip_ws();
-                if key == "name" {
-                    record.name = self.string()?;
-                } else {
-                    let value = self.number()?;
-                    if key == "throughput" {
-                        record.throughput = value;
-                    } else {
-                        record.extras.push((key, value));
-                    }
-                }
-                self.skip_ws();
-                if self.peek() == Some(',') {
-                    self.expect(',')?;
-                }
-            }
-            if record.name.is_empty() {
-                return Err("record missing \"name\"".into());
-            }
-            if record.throughput.is_nan() {
-                return Err(format!("record '{}' missing \"throughput\"", record.name));
-            }
-            Ok(record)
         }
     }
 }

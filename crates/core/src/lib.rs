@@ -20,6 +20,9 @@
 //! * [`reg`] — the per-Unit measurement register bank.
 //! * [`stats`] — per-layer cycle accounting (Table III) and match
 //!   telemetry (Fig. 4(b)).
+//! * [`json`] — the workspace's shared hand-rolled JSON tree (the
+//!   vendored `serde` is a stub), used by the bench perf records and the
+//!   campaign checkpoint files.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@
 pub mod api;
 pub mod config;
 pub mod decoder;
+pub mod json;
 pub mod reg;
 pub mod stats;
 

@@ -15,6 +15,7 @@
 //! This module provides the combined view a memory-experiment user wants:
 //! a logical qubit fails when *either* sector fails.
 
+use crate::campaign::derive_seed;
 use crate::trials::{run_trial, TrialConfig, TrialOutcome};
 
 /// Outcome of one both-sector logical-qubit trial.
@@ -39,11 +40,11 @@ impl DualSectorOutcome {
     }
 }
 
-/// Seed-stream offset separating the two sectors' noise realizations.
-/// Any constant works as long as trial seeds stay below it in practice;
-/// a large odd constant keeps the streams disjoint for all realistic
-/// campaign sizes.
-const Z_SECTOR_SEED_OFFSET: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Seed stream of the mirror (Z) sector under [`derive_seed`]. The X
+/// sector uses the caller's seed directly, so single-sector campaigns
+/// and the X half of a dual-sector campaign share trial outcomes
+/// exactly; the Z sector branches into its own avalanche-mixed stream.
+const Z_SECTOR_STREAM: u64 = 1;
 
 /// Runs one logical-qubit memory trial decoding both error sectors.
 ///
@@ -64,18 +65,23 @@ const Z_SECTOR_SEED_OFFSET: u64 = 0x9E37_79B9_7F4A_7C15;
 pub fn run_dual_sector_trial(cfg: &TrialConfig, seed: u64) -> DualSectorOutcome {
     DualSectorOutcome {
         x_sector: run_trial(cfg, seed),
-        z_sector: run_trial(cfg, seed.wrapping_add(Z_SECTOR_SEED_OFFSET)),
+        z_sector: run_trial(cfg, derive_seed(seed, Z_SECTOR_STREAM, 0)),
     }
 }
 
-/// Both-sector logical error rate over `shots` trials.
+/// Both-sector logical error rate over `shots` trials. Trial `i` runs on
+/// seed [`derive_seed`]`(base_seed, 0, i)` — the same seeds the engine
+/// gives trial `i` of a single-sector job, so the X half of this
+/// estimate reproduces a single-sector campaign exactly.
 pub fn dual_sector_error_rate(
     cfg: &TrialConfig,
     shots: usize,
     base_seed: u64,
 ) -> crate::stats::RateEstimate {
     let failures = (0..shots)
-        .filter(|&i| run_dual_sector_trial(cfg, base_seed + i as u64).logical_error())
+        .filter(|&i| {
+            run_dual_sector_trial(cfg, derive_seed(base_seed, 0, i as u64)).logical_error()
+        })
         .count();
     crate::stats::RateEstimate::new(failures, shots)
 }

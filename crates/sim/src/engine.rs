@@ -23,8 +23,12 @@
 //!   the scope joins, which keeps the histogram and cycle aggregates
 //!   independent of thread scheduling.
 //!
-//! Trial `i` of a job uses seed `base_seed + i` (wrapping), exactly like
-//! the serial path, so engine results equal serial results bit for bit.
+//! Trial `i` of a job uses seed
+//! [`derive_seed`]`(base_seed, stream, first_trial + i)` — a pure
+//! function of the job's identity and the trial's logical position, so
+//! engine results equal serial results bit for bit and a chunk of a job
+//! (via [`McJob::first_trial`]) reproduces exactly the seeds the full
+//! job would have used.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::campaign::derive_seed;
 use crate::montecarlo::McResult;
 use crate::trials::{run_trial_into, TrialConfig, TrialOutcome, TrialScratch};
 
@@ -75,8 +80,31 @@ pub struct McJob {
     pub trial: TrialConfig,
     /// Number of independent trials.
     pub shots: usize,
-    /// Seed of trial 0; trial `i` uses `base_seed + i` (wrapping).
+    /// Campaign-level seed; trial `i` uses
+    /// [`derive_seed`]`(base_seed, stream, first_trial + i)`.
     pub base_seed: u64,
+    /// Seed stream of this job (e.g. its sweep-point index). Two jobs
+    /// sharing a `base_seed` draw independent trials when their streams
+    /// differ; `McJob::new` uses stream 0.
+    pub stream: u64,
+    /// Logical index of this job's first trial within its stream. A
+    /// chunk `[first_trial, first_trial + shots)` of a larger job
+    /// reproduces exactly the seeds the monolithic job would have used
+    /// for those trials — the hook `campaign` chunking is built on.
+    pub first_trial: u64,
+}
+
+impl McJob {
+    /// A whole-job (`stream` 0, `first_trial` 0) Monte-Carlo job.
+    pub fn new(trial: TrialConfig, shots: usize, base_seed: u64) -> Self {
+        Self {
+            trial,
+            shots,
+            base_seed,
+            stream: 0,
+            first_trial: 0,
+        }
+    }
 }
 
 /// Live atomic counters streamed while campaigns run: totals over the
@@ -184,11 +212,7 @@ impl DecodeEngine {
 
     /// Runs one campaign; equivalent to a single-job [`Self::run_batch`].
     pub fn run(&self, trial: &TrialConfig, shots: usize, base_seed: u64) -> McResult {
-        let job = McJob {
-            trial: *trial,
-            shots,
-            base_seed,
-        };
+        let job = McJob::new(*trial, shots, base_seed);
         self.run_batch(std::slice::from_ref(&job))
             .pop()
             .expect("one job in, one result out")
@@ -233,7 +257,11 @@ impl DecodeEngine {
                             let job = &jobs[shard.job];
                             let mut partial = McResult::default();
                             for k in 0..shard.len {
-                                let seed = job.base_seed.wrapping_add((shard.start + k) as u64);
+                                let seed = derive_seed(
+                                    job.base_seed,
+                                    job.stream,
+                                    job.first_trial + (shard.start + k) as u64,
+                                );
                                 run_trial_into(&job.trial, seed, &mut scratch, &mut outcome);
                                 partial.absorb(&outcome);
                             }
@@ -306,7 +334,7 @@ mod tests {
         let cfg = TrialConfig::standard(5, 0.04, DecoderKind::BatchQecool);
         let mc = DecodeEngine::new().run(&cfg, 80, 9);
         let serial_failures = (0..80u64)
-            .filter(|i| crate::trials::run_trial(&cfg, 9 + i).logical_error)
+            .filter(|&i| crate::trials::run_trial(&cfg, derive_seed(9, 0, i)).logical_error)
             .count();
         assert_eq!(mc.failures, serial_failures);
     }
@@ -315,18 +343,7 @@ mod tests {
     fn batch_results_are_per_job_and_job_ordered() {
         let low = TrialConfig::standard(3, 0.001, DecoderKind::BatchQecool);
         let high = TrialConfig::standard(3, 0.15, DecoderKind::BatchQecool);
-        let jobs = [
-            McJob {
-                trial: low,
-                shots: 60,
-                base_seed: 1,
-            },
-            McJob {
-                trial: high,
-                shots: 90,
-                base_seed: 2,
-            },
-        ];
+        let jobs = [McJob::new(low, 60, 1), McJob::new(high, 90, 2)];
         let results = DecodeEngine::new().run_batch(&jobs);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].shots, 60);
@@ -365,21 +382,17 @@ mod tests {
     #[test]
     fn mixed_decoder_jobs_share_one_pool() {
         let jobs = [
-            McJob {
-                trial: TrialConfig::standard(3, 0.02, DecoderKind::BatchQecool),
-                shots: 40,
-                base_seed: 3,
-            },
-            McJob {
-                trial: TrialConfig::standard(3, 0.02, DecoderKind::Mwpm),
-                shots: 40,
-                base_seed: 3,
-            },
-            McJob {
-                trial: TrialConfig::standard(3, 0.02, DecoderKind::UnionFind),
-                shots: 40,
-                base_seed: 3,
-            },
+            McJob::new(
+                TrialConfig::standard(3, 0.02, DecoderKind::BatchQecool),
+                40,
+                3,
+            ),
+            McJob::new(TrialConfig::standard(3, 0.02, DecoderKind::Mwpm), 40, 3),
+            McJob::new(
+                TrialConfig::standard(3, 0.02, DecoderKind::UnionFind),
+                40,
+                3,
+            ),
         ];
         let results = DecodeEngine::with_threads(2).run_batch(&jobs);
         assert!(results.iter().all(|r| r.shots == 40));

@@ -78,10 +78,14 @@ where
 /// Runs a full `(d × p)` logical-error-rate sweep on the given engine.
 ///
 /// `shots_for(d, p)` lets callers spend more shots where rates are
-/// small; seeds are derived deterministically from `(d, p)` indices so
-/// the sweep is reproducible. All points go onto the engine's queue as
-/// one batch, so workers drain cheap points and heavy points from the
-/// same pool instead of synchronizing per point.
+/// small. Each `(d, p)` point runs on seed stream `di * ps.len() + pi`
+/// (row-major grid index) of `base_seed` via
+/// [`campaign::derive_seed`](crate::campaign::derive_seed), so the sweep
+/// is reproducible and a [`CampaignRunner`](crate::campaign) built over
+/// the same grid, seed and quotas produces byte-identical aggregates.
+/// All points go onto the engine's queue as one batch, so workers drain
+/// cheap points and heavy points from the same pool instead of
+/// synchronizing per point.
 pub fn sweep_on<F>(
     engine: &DecodeEngine,
     decoder: DecoderKind,
@@ -109,14 +113,12 @@ where
                 noise,
                 boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
             };
-            let seed = base_seed
-                .wrapping_add(di as u64 * 1_000_003)
-                .wrapping_add(pi as u64 * 7_919)
-                .wrapping_mul(2_654_435_761);
             jobs.push(McJob {
                 trial,
                 shots: shots_for(d, p),
-                base_seed: seed,
+                base_seed,
+                stream: (di * ps.len() + pi) as u64,
+                first_trial: 0,
             });
         }
     }

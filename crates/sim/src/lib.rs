@@ -19,8 +19,14 @@
 //!   threads push syndrome rounds without taking a service lock;
 //! * [`montecarlo`] — the [`McResult`] aggregate and the classic
 //!   single-campaign wrapper over the engine;
-//! * [`stats`] — binomial rate estimates (Wilson intervals) and streaming
-//!   cycle aggregates;
+//! * [`campaign`] — adaptive campaigns over the engine: chunked
+//!   deterministic execution, Clopper–Pearson stop rules, and versioned
+//!   JSON checkpoints whose resume is byte-identical to an
+//!   uninterrupted run (plus [`campaign::derive_seed`], the workspace's
+//!   one audited seed-splitting function);
+//! * [`stats`] — binomial rate estimates (Wilson and exact
+//!   Clopper–Pearson intervals, width inversion for stop rules) and
+//!   streaming cycle aggregates;
 //! * [`threshold`] — accuracy-threshold (`p_th`) estimation from curve
 //!   crossings, the quantity Figs. 4(a) and 7 report;
 //! * [`experiments`] — the `(d × p)` sweep drivers the benchmark binaries
@@ -43,6 +49,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod campaign;
 pub mod dual_sector;
 pub mod engine;
 pub mod experiments;
@@ -54,6 +61,10 @@ pub mod stats;
 pub mod threshold;
 pub mod trials;
 
+pub use campaign::{
+    derive_seed, CampaignConfig, CampaignError, CampaignJob, CampaignReport, CampaignRunner,
+    CampaignStatus, JobStatus, RunOutcome, StopRule,
+};
 pub use dual_sector::{dual_sector_error_rate, run_dual_sector_trial, DualSectorOutcome};
 pub use engine::{DecodeEngine, EngineConfig, EngineTally, McJob};
 pub use experiments::{log_grid, sweep, sweep_on, Sweep, SweepPoint};

@@ -9,7 +9,11 @@ use crate::stats::{CycleAggregate, RateEstimate};
 use crate::trials::{TrialConfig, TrialOutcome};
 
 /// Aggregated result of a Monte-Carlo campaign at one parameter point.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is exact field-wise comparison of the integer counters —
+/// the relation the kill/resume campaign tests use to assert
+/// byte-identical aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct McResult {
     /// Trials executed.
     pub shots: usize,
@@ -80,8 +84,8 @@ impl McResult {
 
 /// Runs `shots` independent trials of `cfg` across all available CPU
 /// cores on a fresh [`DecodeEngine`]. Trial `i` uses seed
-/// `base_seed + i`, so results are reproducible regardless of thread
-/// count and scheduling.
+/// [`derive_seed`](crate::campaign::derive_seed)`(base_seed, 0, i)`, so
+/// results are reproducible regardless of thread count and scheduling.
 ///
 /// Callers running many campaigns should hold one engine and use
 /// [`DecodeEngine::run_batch`] so all campaigns share one worker pool.

@@ -91,6 +91,85 @@ impl RateEstimate {
         };
         (lower, upper)
     }
+
+    /// Width of the 95% Clopper–Pearson interval — the "looseness" the
+    /// adaptive campaign stop rule ranks sweep points by. `1.0` when no
+    /// shots were taken (the vacuous interval).
+    pub fn clopper_pearson_width(&self) -> f64 {
+        let (lo, hi) = self.clopper_pearson_interval();
+        hi - lo
+    }
+
+    /// Inverts the Clopper–Pearson width: the total shot count at
+    /// which — holding the observed rate fixed — the 95% interval
+    /// narrows to at most `target`. Used by the `qecool_sim::campaign`
+    /// stop rules to size shot reallocations; the estimate is
+    /// approximate, not exact (the campaign re-checks real widths every
+    /// round, so under-estimates only cost an extra round).
+    ///
+    /// Deterministic: pure arithmetic on the counts and `target`.
+    /// Capped at 2³⁴ shots so an impossibly tight target cannot spin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target` is positive and finite.
+    pub fn shots_to_cp_width(&self, target: f64) -> u64 {
+        assert!(
+            target > 0.0 && target.is_finite(),
+            "target width must be positive and finite, got {target}"
+        );
+        if target >= 1.0 {
+            return (self.shots as u64).max(1);
+        }
+        const CAP: u64 = 1 << 34;
+        let p = self.rate();
+        // Closed-form seed: k = 0 (or k = n) widths are 1 - (α/2)^{1/n};
+        // interior points start from the normal-approximation width
+        // 2·z·sqrt(p(1-p)/n).
+        let seed = if self.hits == 0 || self.hits == self.shots {
+            (0.025f64.ln() / (1.0 - target).ln()).ceil() as u64
+        } else {
+            let z = 1.96f64;
+            ((4.0 * z * z * p * (1.0 - p)) / (target * target)).ceil() as u64
+        };
+        let mut n = seed.max(self.shots as u64).max(1);
+        loop {
+            if cp_width_at(self.hits, self.shots, n) <= target || n >= CAP {
+                return n.min(CAP);
+            }
+            // Grow geometrically: widths shrink ~1/sqrt(n), so a 25%
+            // step overshoots the target by at most ~12%.
+            n += (n / 4).max(1);
+        }
+    }
+}
+
+/// Hypothetical 95% Clopper–Pearson width at `n` total shots, scaling
+/// the observed `hits / shots` rate. Exact for the closed-form extremes
+/// and for small `n`; falls back to the Wilson width for large `n`,
+/// where the exact CDF sum would cost O(hits) per probe — this sizes
+/// allocations only, the campaign always re-checks the exact width.
+fn cp_width_at(hits: usize, shots: usize, n: u64) -> f64 {
+    let n_us = n as usize;
+    if hits == 0 {
+        return 1.0 - 0.025f64.powf(1.0 / n as f64);
+    }
+    if hits == shots {
+        // All-failure mirror of k = 0.
+        return 1.0 - 0.025f64.powf(1.0 / n as f64);
+    }
+    let p = if shots == 0 {
+        0.0
+    } else {
+        hits as f64 / shots as f64
+    };
+    let h = ((p * n as f64).round() as u64).clamp(1, n.saturating_sub(1)) as usize;
+    let est = RateEstimate::new(h, n_us);
+    if n <= 4096 {
+        return est.clopper_pearson_width();
+    }
+    let (lo, hi) = est.wilson_interval();
+    hi - lo
 }
 
 /// Root of a monotonically decreasing function of `p` on (0, 1), by
@@ -137,7 +216,7 @@ impl std::fmt::Display for RateEstimate {
 }
 
 /// Streaming aggregate of cycle counts (per-layer execution cycles).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CycleAggregate {
     /// Number of samples.
     pub count: u64,
@@ -302,6 +381,55 @@ mod tests {
             RateEstimate::new(0, 0).clopper_pearson_interval(),
             (0.0, 1.0)
         );
+    }
+
+    #[test]
+    fn cp_width_shrinks_with_shots() {
+        let wide = RateEstimate::new(2, 20).clopper_pearson_width();
+        let narrow = RateEstimate::new(20, 200).clopper_pearson_width();
+        assert!(narrow < wide, "{narrow} !< {wide}");
+        assert_eq!(RateEstimate::new(0, 0).clopper_pearson_width(), 1.0);
+    }
+
+    #[test]
+    fn shots_to_cp_width_meets_target_at_zero_hits() {
+        // k = 0 has the exact closed form: verify the inversion lands on
+        // a count whose real width meets the target, and that one fewer
+        // order of magnitude would not.
+        for target in [0.1, 0.05, 0.01] {
+            let n = RateEstimate::new(0, 10).shots_to_cp_width(target);
+            let width = RateEstimate::new(0, n as usize).clopper_pearson_width();
+            assert!(width <= target, "n = {n} gives width {width} > {target}");
+            let width_tenth =
+                RateEstimate::new(0, (n / 10).max(1) as usize).clopper_pearson_width();
+            assert!(
+                width_tenth > target,
+                "inversion wildly overshot at {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn shots_to_cp_width_interior_point_converges() {
+        let est = RateEstimate::new(10, 100);
+        let n = est.shots_to_cp_width(0.05);
+        assert!(n > 100, "needs more than the current 100 shots");
+        // Re-check with the real (scaled-count) width at the answer.
+        let scaled = (n as f64 * est.rate()).round() as usize;
+        let width = RateEstimate::new(scaled, n as usize).clopper_pearson_width();
+        assert!(width <= 0.06, "width {width} far off the 0.05 target");
+    }
+
+    #[test]
+    fn shots_to_cp_width_is_satisfied_counts_and_caps() {
+        // Already-met targets never ask for fewer shots than taken.
+        let est = RateEstimate::new(0, 1000);
+        assert_eq!(est.shots_to_cp_width(0.9), 1000);
+        // Vacuously wide targets cost a single shot.
+        assert_eq!(RateEstimate::new(0, 0).shots_to_cp_width(1.5), 1);
+        // Impossibly tight targets hit the cap instead of spinning.
+        let capped = RateEstimate::new(1, 2).shots_to_cp_width(1e-12);
+        assert_eq!(capped, 1 << 34);
     }
 
     #[test]
