@@ -29,10 +29,18 @@
 //! ```text
 //! cargo run --release -p qecool-bench --bin service_bench -- \
 //!     [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
-//!     [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
-//!     [--json FILE] [--metrics FILE|-] [--metrics-json FILE|-] \
-//!     [--metrics-interval-ms MS]
+//!     [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--window W] [--stride S] \
+//!     [--seed S] [--smoke] [--json FILE] [--metrics FILE|-] \
+//!     [--metrics-json FILE|-] [--metrics-interval-ms MS]
 //! ```
+//!
+//! `--window W --stride S` set the sliding-window geometry of the
+//! UF/MWPM backends (default `W = 3d, S = d`): the session digest then
+//! also covers every poll's commit watermark, and the table/JSON report
+//! the commit-lag distribution (rounds behind the stream head when a
+//! round's corrections committed). Backends without a hardware cycle
+//! model (UF/MWPM) print `n/a (no cycle model)` for the decode-cycle
+//! rows instead of a misleading zero.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -46,7 +54,7 @@ use qecool_obs::{Snapshot, TelemetryHandle};
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
 use qecool_sim::campaign::derive_seed;
 use qecool_sim::ring::IngestRing;
-use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId};
+use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId, WindowConfig};
 use qecool_sim::shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
 use qecool_surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
 use rand::SeedableRng;
@@ -62,6 +70,10 @@ struct BenchOptions {
     p: f64,
     ghz: f64,
     backend: ServiceBackend,
+    /// Sliding-window length override for the UF/MWPM backends.
+    window: Option<u64>,
+    /// Commit stride override for the UF/MWPM backends.
+    stride: Option<u64>,
     seed: u64,
     json: Option<String>,
     /// Prometheus-text snapshot target (`-` = stdout).
@@ -83,6 +95,8 @@ impl BenchOptions {
             p: 0.01,
             ghz: 2.0,
             backend: ServiceBackend::Qecool,
+            window: None,
+            stride: None,
             seed: 2021,
             json: None,
             metrics: None,
@@ -140,6 +154,14 @@ impl BenchOptions {
                         }
                     };
                 }
+                "--window" => {
+                    let v = require_value(&mut args, "--window");
+                    opts.window = Some(parse_or_die(&v, "--window", "a window length in rounds"));
+                }
+                "--stride" => {
+                    let v = require_value(&mut args, "--stride");
+                    opts.stride = Some(parse_or_die(&v, "--stride", "a commit stride in rounds"));
+                }
                 "--seed" => {
                     let v = require_value(&mut args, "--seed");
                     opts.seed = parse_or_die(&v, "--seed", "a non-negative integer");
@@ -164,9 +186,9 @@ impl BenchOptions {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
-                         [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--seed S] [--smoke] \
-                         [--json FILE] [--metrics FILE|-] [--metrics-json FILE|-] \
-                         [--metrics-interval-ms MS]"
+                         [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--window W] [--stride S] \
+                         [--seed S] [--smoke] [--json FILE] [--metrics FILE|-] \
+                         [--metrics-json FILE|-] [--metrics-interval-ms MS]"
                     );
                     std::process::exit(0);
                 }
@@ -176,7 +198,28 @@ impl BenchOptions {
         if opts.metrics_interval_ms > 0 && opts.metrics.is_none() && opts.metrics_json.is_none() {
             usage_error("--metrics-interval-ms needs --metrics and/or --metrics-json");
         }
+        // Validate the window geometry eagerly so a bad pair is a CLI
+        // error, not an assertion inside the fabric.
+        if let Some((w, s)) = opts.window_override() {
+            if s == 0 || s >= w {
+                usage_error(&format!(
+                    "--window/--stride need 1 <= stride < window, got window {w}, stride {s}"
+                ));
+            }
+        }
         opts
+    }
+
+    /// The `--window`/`--stride` pair, with the unspecified half filled
+    /// from the `W = 3d, S = d` default. `None` when neither flag was
+    /// given (the fabric then applies its own default).
+    fn window_override(&self) -> Option<(u64, u64)> {
+        if self.window.is_none() && self.stride.is_none() {
+            return None;
+        }
+        let w = self.window.unwrap_or(3 * self.d as u64);
+        let s = self.stride.unwrap_or(self.d as u64);
+        Some((w, s))
     }
 
     fn telemetry_requested(&self) -> bool {
@@ -254,6 +297,10 @@ struct ServeOutcome {
     overruns: u64,
     max_cycles: u64,
     p99_cycles: u64,
+    committed_rounds: u64,
+    total_lag_rounds: u64,
+    max_lag_rounds: u64,
+    p99_lag_rounds: u64,
     overflowed: usize,
     digest: u64,
     per_shard: Vec<ShardStats>,
@@ -267,9 +314,12 @@ struct ServeOutcome {
 /// the same digest whatever `telemetry` says.
 fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
     let budget = CycleBudget::at_clock(opts.ghz * 1e9);
-    let config = ServiceConfig::new(opts.d, opts.backend, budget)
+    let mut config = ServiceConfig::new(opts.d, opts.backend, budget)
         .with_threads(opts.threads)
         .with_telemetry(telemetry.clone());
+    if let Some((w, s)) = opts.window_override() {
+        config = config.with_window(WindowConfig::new(w, s));
+    }
     let service = match ShardedDecodeService::new(ShardedServiceConfig::new(config, opts.shards)) {
         Ok(s) => s,
         Err(e) => usage_error(&format!("--d: {e}")),
@@ -307,6 +357,10 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
             if let Ok(fresh) = service.poll_corrections(ids[s]) {
                 total_corrections += fresh.len() as u64;
                 digests[s].push_edges(&fresh);
+                // The watermark is part of the observable API now, so
+                // it is part of the determinism contract: fold every
+                // poll's committed-through value in (`0` = none yet).
+                digests[s].push(fresh.committed_through.map_or(0, |w| w + 1));
                 patches[s].apply_corrections(fresh.iter().copied());
             }
         }
@@ -323,6 +377,13 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
     let mut max_cycles = 0u64;
     let mut overflowed = 0usize;
     let mut hist = CycleHistogram::new();
+    // Commit-lag aggregates cover the serving loop only — the close-time
+    // flush below would commit every residual round at an artificially
+    // small lag and skew the steady-state percentiles.
+    let mut committed_rounds = 0u64;
+    let mut total_lag_rounds = 0u64;
+    let mut max_lag_rounds = 0u64;
+    let mut lag_hist = CycleHistogram::new();
     for &id in &ids {
         let lat = service.latency(id).expect("session open");
         worst_util = worst_util.max(lat.max_cycles as f64 / lat.budget_cycles.max(1) as f64);
@@ -330,6 +391,10 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
         overruns += lat.overruns;
         max_cycles = max_cycles.max(lat.max_cycles);
         hist.merge(&lat.histogram);
+        committed_rounds += lat.committed_rounds;
+        total_lag_rounds += lat.total_lag_rounds;
+        max_lag_rounds = max_lag_rounds.max(lat.max_lag_rounds);
+        lag_hist.merge(&lat.lag_histogram);
         if service.is_overflowed(id).unwrap_or(false) {
             overflowed += 1;
         }
@@ -349,6 +414,7 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
         digests[s].push(u64::from(report.overflowed));
         digests[s].push(report.rounds_ingested);
         digests[s].push(report.rounds_dropped);
+        digests[s].push(report.committed_through.map_or(0, |w| w + 1));
         fabric_digest.push(digests[s].0);
     }
 
@@ -363,6 +429,10 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
         overruns,
         max_cycles,
         p99_cycles: hist.percentile(0.99),
+        committed_rounds,
+        total_lag_rounds,
+        max_lag_rounds,
+        p99_lag_rounds: lag_hist.percentile(0.99),
         overflowed,
         digest: fabric_digest.0,
         per_shard: (0..service.num_shards())
@@ -485,12 +555,18 @@ fn main() {
         Ok(l) => l,
         Err(e) => usage_error(&format!("--d: {e}")),
     };
-    // Ids are crate-internal; mint one from a throwaway solo service.
-    let tag = {
+    // Ids are crate-internal; mint one from a throwaway solo service —
+    // which also hands us the backend's commit hint (cadence + whether
+    // the decode-cycle figures come from a real cycle model).
+    let (tag, hint) = {
         let budget = CycleBudget::at_clock(opts.ghz * 1e9);
-        let config = ServiceConfig::new(opts.d, opts.backend, budget).with_threads(1);
+        let mut config = ServiceConfig::new(opts.d, opts.backend, budget).with_threads(1);
+        if let Some((w, s)) = opts.window_override() {
+            config = config.with_window(WindowConfig::new(w, s));
+        }
         let mut solo = DecodeService::new(config).expect("distance validated above");
-        solo.open_session()
+        let hint = solo.commit_hint();
+        (solo.open_session(), hint)
     };
     let ingest_rounds_per_sec = measure_ingest_rate(
         tag,
@@ -568,24 +644,63 @@ fn main() {
         "corrections emitted",
         &outcome.total_corrections.to_string(),
     ]);
-    table.row(["max decode cycles", &outcome.max_cycles.to_string()]);
-    table.row(["p99 decode cycles", &outcome.p99_cycles.to_string()]);
     table.row([
-        "p99 budget utilisation",
+        "commit cadence",
+        &match hint.cadence {
+            qecool::CommitCadence::Incremental => "incremental".to_string(),
+            qecool::CommitCadence::Windowed { window, stride } => {
+                format!("windowed (W = {window}, S = {stride})")
+            }
+            qecool::CommitCadence::Deferred => "deferred".to_string(),
+        },
+    ]);
+    // Decode-cycle figures are only meaningful when the backend has a
+    // real hardware cycle model; the graph decoders report structural
+    // zeros that must not read as a measured zero-cycle decode.
+    if hint.has_cycle_model {
+        table.row(["max decode cycles", &outcome.max_cycles.to_string()]);
+        table.row(["p99 decode cycles", &outcome.p99_cycles.to_string()]);
+        table.row([
+            "p99 budget utilisation",
+            &format!(
+                "{:.3}",
+                outcome.p99_cycles as f64 / budget_cycles.max(1) as f64
+            ),
+        ]);
+        table.row([
+            "worst budget utilisation",
+            &format!("{:.3}", outcome.worst_util),
+        ]);
+        table.row([
+            "mean budget utilisation",
+            &format!("{:.4}", outcome.mean_util),
+        ]);
+        table.row(["budget overruns", &outcome.overruns.to_string()]);
+    } else {
+        let na = "n/a (no cycle model)";
+        table.row(["max decode cycles", na]);
+        table.row(["p99 decode cycles", na]);
+        table.row(["p99 budget utilisation", na]);
+        table.row(["worst budget utilisation", na]);
+        table.row(["mean budget utilisation", na]);
+        table.row(["budget overruns", na]);
+    }
+    table.row(["committed rounds", &outcome.committed_rounds.to_string()]);
+    table.row([
+        "p99 commit lag (rounds)",
+        &outcome.p99_lag_rounds.to_string(),
+    ]);
+    table.row([
+        "max commit lag (rounds)",
+        &outcome.max_lag_rounds.to_string(),
+    ]);
+    table.row([
+        "mean commit lag (rounds)",
         &format!(
-            "{:.3}",
-            outcome.p99_cycles as f64 / budget_cycles.max(1) as f64
+            "{:.2}",
+            outcome.total_lag_rounds as f64 / outcome.committed_rounds.max(1) as f64
         ),
     ]);
-    table.row([
-        "worst budget utilisation",
-        &format!("{:.3}", outcome.worst_util),
-    ]);
-    table.row([
-        "mean budget utilisation",
-        &format!("{:.4}", outcome.mean_util),
-    ]);
-    table.row(["budget overruns", &outcome.overruns.to_string()]);
     table.row(["overflowed sessions", &outcome.overflowed.to_string()]);
     table.row(["session digest", &format!("{:016x}", outcome.digest)]);
     println!("{}", table.render());
@@ -620,17 +735,38 @@ fn main() {
         eprintln!("measuring telemetry overhead ({OVERHEAD_PAIRS} disabled/enabled pairs)...");
         let telemetry_ratio = measure_telemetry_overhead(&opts);
         eprintln!("telemetry throughput ratio: {telemetry_ratio:.3}");
-        let record = BenchRecord::new("service_bench", outcome.throughput)
+        // Non-QECOOL backends get their own record name: their cycle
+        // columns are structural zeros and their throughput regime is
+        // different, so gating them against the QECOOL baseline would
+        // compare unlike with unlike.
+        let record_name = match opts.backend {
+            ServiceBackend::Qecool => "service_bench",
+            ServiceBackend::UnionFind => "service_bench_uf",
+            ServiceBackend::Mwpm => "service_bench_mwpm",
+        };
+        let (window, stride) = match hint.cadence {
+            qecool::CommitCadence::Windowed { window, stride } => (window, stride),
+            _ => (0, 0),
+        };
+        let mean_lag = outcome.total_lag_rounds as f64 / outcome.committed_rounds.max(1) as f64;
+        let record = BenchRecord::new(record_name, outcome.throughput)
             .with("p99_cycles", outcome.p99_cycles as f64)
             .with("budget_cycles", budget_cycles as f64)
             .with("max_cycles", outcome.max_cycles as f64)
             .with("overruns", outcome.overruns as f64)
+            .with("has_cycle_model", f64::from(u8::from(hint.has_cycle_model)))
             .with("sessions", opts.sessions as f64)
             .with("rounds_per_session", opts.rounds as f64)
             .with("pump_workers", outcome.pump_workers as f64)
             .with("worker_budget", cores as f64)
             .with("shards", opts.shards as f64)
             .with("sessions_per_core", sessions_per_core)
+            .with("window_rounds", window as f64)
+            .with("stride_rounds", stride as f64)
+            .with("committed_rounds", outcome.committed_rounds as f64)
+            .with("commit_lag_p99_rounds", outcome.p99_lag_rounds as f64)
+            .with("commit_lag_max_rounds", outcome.max_lag_rounds as f64)
+            .with("commit_lag_mean_rounds", mean_lag)
             .with("ingest_rounds_per_sec", ingest_rounds_per_sec)
             .with("telemetry_throughput_ratio", telemetry_ratio);
         write_records(path, std::slice::from_ref(&record));

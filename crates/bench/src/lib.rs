@@ -282,10 +282,7 @@ impl CampaignOpts {
                 .expect("validated: resume needs --checkpoint");
             match qecool_sim::CampaignRunner::resume(engine, jobs, config, path.as_ref()) {
                 Ok(runner) => runner,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                }
+                Err(e) => qecool::exit_with(&e),
             }
         } else {
             let mut runner = qecool_sim::CampaignRunner::new(engine, jobs, config);
@@ -296,8 +293,7 @@ impl CampaignOpts {
                 // `--resume` run can restore (a zero-progress checkpoint
                 // resumes into exactly the fresh campaign).
                 if let Err(e) = runner.write_checkpoint(path.as_ref()) {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
+                    qecool::exit_with(&e);
                 }
             }
             runner
@@ -320,10 +316,7 @@ impl CampaignOpts {
                 eprintln!("killed by --kill-after-chunks after {chunks_run} chunks; aborting");
                 std::process::abort();
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
+            Err(e) => qecool::exit_with(&e),
         }
     }
 

@@ -8,11 +8,46 @@
 //! Monte-Carlo harness can drive QECOOL, union-find and MWPM through one
 //! interface.
 //!
-//! Backends that genuinely decode incrementally (QECOOL) do real work in
-//! [`Decoder::decode_step`]; windowed baselines (union-find, MWPM — see
-//! the adapters in `qecool-sim`) buffer rounds and decode everything in
-//! [`Decoder::finish`], reporting zero cycles per step, which is honest:
-//! their hardware model has no published per-cycle schedule.
+//! # The commit contract
+//!
+//! Corrections are only useful on-line if the consumer knows when they
+//! stop being provisional. Every step therefore reports a **commit
+//! watermark** ([`DecodeOutput::committed_through`]): the highest
+//! session-lifetime round index whose corrections are *final* — the
+//! decoder will never emit another correction attributable to that
+//! round or any earlier one. The watermark is monotone over a stream,
+//! never exceeds the index of the newest ingested round, and resets
+//! with [`Decoder::reset`].
+//!
+//! How aggressively a backend commits is advertised through
+//! [`Decoder::commit_hint`]:
+//!
+//! * **Incremental** (QECOOL) — rounds commit as the hardware registers
+//!   retire them, typically within a few rounds of ingest.
+//! * **Windowed** (the sliding-window union-find/MWPM decoders in
+//!   `qecool-sim`) — the decoder buffers a window of `W` rounds,
+//!   decodes it, commits the oldest `S < W` rounds (matches reaching
+//!   into the remaining `W − S` overlap rounds are tentative and
+//!   re-derived next window), then slides. The watermark advances in
+//!   strides of `S`; commit latency is bounded by `W` rounds.
+//! * **Deferred** — everything commits at [`Decoder::finish`]. This is
+//!   the conservative default for external implementations written
+//!   against the pre-watermark trait.
+//!
+//! [`Decoder::finish`] means "commit everything remaining": it decodes
+//! whatever is still buffered without a budget and raises the watermark
+//! to the last ingested round.
+//!
+//! # Migration note for external `Decoder` impls
+//!
+//! Implementations written before the commit contract keep compiling
+//! and behaving: [`Decoder::commit_hint`] defaults to
+//! [`CommitHint::deferred`], and a step that never touches
+//! [`DecodeOutput::committed_through`] (the field [`DecodeOutput::clear`]
+//! resets to `None`) simply reports "nothing committed yet", which is
+//! exactly the old semantics. To opt into windowed serving, set the
+//! watermark in `decode_step`/`finish` and return an accurate hint so
+//! callers can size ring buffers against the `W − S` lookahead.
 
 use qecool_surface_code::{DetectionRound, Edge};
 
@@ -33,6 +68,12 @@ pub struct DecodeOutput {
     /// `true` when the step stopped because no further work was possible
     /// (as opposed to exhausting the cycle budget).
     pub idle: bool,
+    /// Commit watermark: the highest session-lifetime round index
+    /// (0-based, counted from the first ingest after construction or
+    /// [`Decoder::reset`]) whose corrections are final. `None` while
+    /// nothing has committed. Monotone over a stream and never larger
+    /// than the newest ingested round's index.
+    pub committed_through: Option<u64>,
 }
 
 impl DecodeOutput {
@@ -41,6 +82,88 @@ impl DecodeOutput {
         self.corrections.clear();
         self.cycles = 0;
         self.idle = false;
+        self.committed_through = None;
+    }
+}
+
+/// When a [`Decoder`] turns provisional corrections into committed ones
+/// (see the module docs for the full contract). Advertised through
+/// [`Decoder::commit_hint`] so callers can size ring buffers and
+/// interpret latency without knowing the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitHint {
+    /// The commit cadence.
+    pub cadence: CommitCadence,
+    /// `true` when per-step [`DecodeOutput::cycles`] figures come from a
+    /// real hardware cycle model (QECOOL's SFQ schedule). Backends
+    /// without one (the graph decoders) report structural zeros, which
+    /// consumers should render as "no cycle model" rather than as a
+    /// measured zero-cycle decode.
+    pub has_cycle_model: bool,
+}
+
+/// The commit cadences a [`CommitHint`] can advertise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitCadence {
+    /// Rounds commit as the decoder retires them, typically within a few
+    /// rounds of ingest (bounded by the decoder's internal occupancy).
+    Incremental,
+    /// Sliding window: decode `window` rounds, commit the oldest
+    /// `stride`, slide. Commit latency is bounded by `window` rounds.
+    Windowed {
+        /// Rounds decoded per window.
+        window: u64,
+        /// Rounds committed (and slid past) per window.
+        stride: u64,
+    },
+    /// Nothing commits before [`Decoder::finish`].
+    Deferred,
+}
+
+impl CommitHint {
+    /// An incremental-commit hint (no cycle model claimed).
+    pub fn incremental() -> Self {
+        Self {
+            cadence: CommitCadence::Incremental,
+            has_cycle_model: false,
+        }
+    }
+
+    /// A sliding-window hint for window `window`, stride `stride`.
+    pub fn windowed(window: u64, stride: u64) -> Self {
+        Self {
+            cadence: CommitCadence::Windowed { window, stride },
+            has_cycle_model: false,
+        }
+    }
+
+    /// The conservative everything-at-`finish` hint — the default for
+    /// implementations predating the commit contract.
+    pub fn deferred() -> Self {
+        Self {
+            cadence: CommitCadence::Deferred,
+            has_cycle_model: false,
+        }
+    }
+
+    /// Marks the hint as backed by a real cycle model.
+    pub fn with_cycle_model(mut self) -> Self {
+        self.has_cycle_model = true;
+        self
+    }
+
+    /// Upper bound on how many rounds the decoder buffers before
+    /// committing them — what a caller should size lookahead buffers
+    /// against. 0 for incremental commit (rounds retire as decoded; any
+    /// residue is the decoder's own bounded registers), the window width
+    /// for windowed commit, `None` for deferred commit (the bound is the
+    /// stream length).
+    pub fn lookahead_rounds(&self) -> Option<u64> {
+        match self.cadence {
+            CommitCadence::Incremental => Some(0),
+            CommitCadence::Windowed { window, .. } => Some(window),
+            CommitCadence::Deferred => None,
+        }
     }
 }
 
@@ -68,13 +191,16 @@ pub trait Decoder {
     fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow>;
 
     /// Decodes for at most `budget` cycles (`None` = until idle),
-    /// appending any corrections to `out.corrections` and recording the
-    /// cycles spent. `out` is cleared first.
+    /// appending any corrections to `out.corrections`, recording the
+    /// cycles spent and raising `out.committed_through` to the current
+    /// commit watermark. `out` is cleared first.
     fn decode_step(&mut self, budget: Option<u64>, out: &mut DecodeOutput);
 
-    /// Closes the stream: decodes every pending layer regardless of
-    /// lookahead thresholds, appending corrections to `out.corrections`.
-    /// `out` is cleared first.
+    /// Closes the stream by committing everything remaining: decodes
+    /// every pending layer regardless of budgets or window thresholds,
+    /// appending corrections to `out.corrections` and raising
+    /// `out.committed_through` to the last ingested round. `out` is
+    /// cleared first.
     fn finish(&mut self, out: &mut DecodeOutput);
 
     /// Returns the decoder to its freshly-constructed state without
@@ -99,6 +225,23 @@ pub trait Decoder {
         }
         rounds.len()
     }
+
+    /// How this backend commits (see the module docs). Defaults to
+    /// [`CommitHint::deferred`], which is always safe: callers then
+    /// treat every correction as provisional until [`Self::finish`].
+    fn commit_hint(&self) -> CommitHint {
+        CommitHint::deferred()
+    }
+}
+
+impl QecoolDecoder {
+    /// The commit watermark implied by the register state: layers retire
+    /// FIFO, so every round pushed and no longer occupying a register
+    /// layer is final.
+    fn watermark(&self) -> Option<u64> {
+        let retired = self.rounds_pushed() - self.occupancy();
+        (retired > 0).then(|| retired as u64 - 1)
+    }
 }
 
 impl Decoder for QecoolDecoder {
@@ -113,6 +256,7 @@ impl Decoder for QecoolDecoder {
         out.corrections.extend_from_slice(&report.corrections);
         out.cycles = report.cycles;
         out.idle = report.idle;
+        out.committed_through = self.watermark();
         self.api_scratch = report;
     }
 
@@ -123,11 +267,16 @@ impl Decoder for QecoolDecoder {
         out.corrections.extend_from_slice(&report.corrections);
         out.cycles = report.cycles;
         out.idle = report.idle;
+        out.committed_through = self.watermark();
         self.api_scratch = report;
     }
 
     fn reset(&mut self) {
         QecoolDecoder::reset(self);
+    }
+
+    fn commit_hint(&self) -> CommitHint {
+        CommitHint::incremental().with_cycle_model()
     }
 }
 
@@ -245,6 +394,89 @@ mod tests {
         // reset the remainder can be re-ingested from the cut point.
         decoder.reset();
         assert_eq!(decoder.ingest_batch(&rounds[3..]), 2);
+    }
+
+    #[test]
+    fn default_commit_hint_is_deferred_for_legacy_impls() {
+        /// A minimal impl of only the four required methods — the shape
+        /// external implementations written before the commit contract
+        /// have. It must keep compiling and advertise deferred commit.
+        struct Legacy;
+        impl Decoder for Legacy {
+            fn ingest(&mut self, _round: &DetectionRound) -> Result<(), RegOverflow> {
+                Ok(())
+            }
+            fn decode_step(&mut self, _budget: Option<u64>, out: &mut DecodeOutput) {
+                out.clear();
+            }
+            fn finish(&mut self, out: &mut DecodeOutput) {
+                out.clear();
+            }
+            fn reset(&mut self) {}
+        }
+        let hint = Legacy.commit_hint();
+        assert_eq!(hint.cadence, CommitCadence::Deferred);
+        assert!(!hint.has_cycle_model);
+        assert_eq!(hint.lookahead_rounds(), None);
+        // An untouched output reports "nothing committed" after clear.
+        let mut out = DecodeOutput {
+            committed_through: Some(7),
+            ..DecodeOutput::default()
+        };
+        Legacy.decode_step(None, &mut out);
+        assert_eq!(out.committed_through, None);
+    }
+
+    #[test]
+    fn commit_hint_constructors_and_lookahead() {
+        let windowed = CommitHint::windowed(15, 5);
+        assert_eq!(
+            windowed.cadence,
+            CommitCadence::Windowed {
+                window: 15,
+                stride: 5
+            }
+        );
+        assert_eq!(windowed.lookahead_rounds(), Some(15));
+        let incremental = CommitHint::incremental().with_cycle_model();
+        assert!(incremental.has_cycle_model);
+        assert_eq!(incremental.lookahead_rounds(), Some(0));
+    }
+
+    #[test]
+    fn qecool_reports_an_incremental_cycle_modelled_hint() {
+        let lattice = Lattice::new(3).unwrap();
+        let decoder = QecoolDecoder::new(lattice, QecoolConfig::online());
+        let hint = decoder.commit_hint();
+        assert_eq!(hint.cadence, CommitCadence::Incremental);
+        assert!(hint.has_cycle_model);
+    }
+
+    #[test]
+    fn qecool_watermark_rises_with_retired_layers_and_finish() {
+        let lattice = Lattice::new(5).unwrap();
+        let mut patch = CodePatch::new(lattice.clone());
+        patch.inject_error(lattice.horizontal_edge(2, 2));
+        let mut decoder = QecoolDecoder::new(lattice, QecoolConfig::online().with_thv(None));
+        let mut out = DecodeOutput::default();
+
+        let mut last = None;
+        for _ in 0..6 {
+            decoder.ingest(&patch.perfect_round()).unwrap();
+            decoder.decode_step(None, &mut out);
+            // Monotone and bounded by the newest ingested round.
+            if let Some(w) = out.committed_through {
+                assert!(last.is_none_or(|l| w >= l), "watermark regressed");
+                assert!(w < decoder.rounds_pushed() as u64);
+                last = Some(w);
+            }
+        }
+        decoder.finish(&mut out);
+        // Everything remaining commits at finish.
+        assert_eq!(
+            out.committed_through,
+            Some(decoder.rounds_pushed() as u64 - 1)
+        );
     }
 
     #[test]

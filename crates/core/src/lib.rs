@@ -50,12 +50,14 @@
 pub mod api;
 pub mod config;
 pub mod decoder;
+pub mod error;
 pub mod json;
 pub mod reg;
 pub mod stats;
 
-pub use api::{DecodeOutput, Decoder};
+pub use api::{CommitCadence, CommitHint, DecodeOutput, Decoder};
 pub use config::{QecoolConfig, DEFAULT_BOUNDARY_PENALTY, PAPER_REG_CAPACITY, PAPER_THV};
 pub use decoder::{QecoolDecoder, RunReport};
+pub use error::{exit_with, FatalError};
 pub use reg::{RegFile, RegOverflow};
 pub use stats::{CycleSummary, ExecStats, MatchKind, MatchRecord};

@@ -40,6 +40,27 @@ impl Match {
             Match::ToBoundary(..) => 0,
         }
     }
+
+    /// The earliest measurement round this match touches.
+    ///
+    /// Sliding-window callers use this to decide whether a match is
+    /// anchored in the commit stride (committed now) or floats entirely
+    /// in the overlap region (left tentative for the next window).
+    pub fn min_round(&self) -> usize {
+        match self {
+            Match::Pair(a, b) => a.round.min(b.round),
+            Match::ToBoundary(a, _) => a.round,
+        }
+    }
+
+    /// The detection events this match explains (one or two).
+    pub fn events(&self) -> impl Iterator<Item = DetectionEvent> + '_ {
+        let (first, second) = match self {
+            Match::Pair(a, b) => (*a, Some(*b)),
+            Match::ToBoundary(a, _) => (*a, None),
+        };
+        std::iter::once(first).chain(second)
+    }
 }
 
 /// Result of decoding one syndrome history.
@@ -210,23 +231,35 @@ impl MwpmDecoder {
             let m = mate[i];
             if m == n + i {
                 let (boundary, _) = self.lattice.nearest_boundary(events[i].ancilla);
-                outcome
-                    .corrections
-                    .extend(self.lattice.route_to_boundary(events[i].ancilla, boundary));
                 outcome.matches.push(Match::ToBoundary(events[i], boundary));
             } else if m < n && i < m {
-                outcome
-                    .corrections
-                    .extend(self.lattice.route(events[i].ancilla, events[m].ancilla));
                 outcome.matches.push(Match::Pair(events[i], events[m]));
             } else {
                 debug_assert!(
                     m < n || m == n + i,
                     "cross edges only connect an event to its own copy"
                 );
+                continue;
             }
+            let last = outcome.matches.last().expect("just pushed");
+            self.append_match_corrections(last, &mut outcome.corrections);
         }
         Ok(outcome)
+    }
+
+    /// Appends the data-qubit corrections implied by a single match.
+    ///
+    /// [`Self::decode_events`] routes every selected match through this
+    /// helper, so a sliding-window caller committing a subset of the
+    /// matches reproduces exactly the corrections the monolithic decode
+    /// would have emitted for them.
+    pub fn append_match_corrections(&self, m: &Match, out: &mut Vec<Edge>) {
+        match m {
+            Match::Pair(a, b) => out.extend(self.lattice.route(a.ancilla, b.ancilla)),
+            Match::ToBoundary(a, boundary) => {
+                out.extend(self.lattice.route_to_boundary(a.ancilla, *boundary));
+            }
+        }
     }
 }
 
@@ -392,5 +425,39 @@ mod tests {
         let b = DetectionEvent::new(Ancilla::new(0, 0), 4);
         assert_eq!(Match::Pair(a, b).vertical_extent(), 3);
         assert_eq!(Match::ToBoundary(a, Boundary::West).vertical_extent(), 0);
+    }
+
+    #[test]
+    fn min_round_and_events_cover_both_match_shapes() {
+        let a = DetectionEvent::new(Ancilla::new(0, 0), 4);
+        let b = DetectionEvent::new(Ancilla::new(1, 0), 1);
+        let pair = Match::Pair(a, b);
+        assert_eq!(pair.min_round(), 1);
+        assert_eq!(pair.events().collect::<Vec<_>>(), vec![a, b]);
+        let bd = Match::ToBoundary(a, Boundary::West);
+        assert_eq!(bd.min_round(), 4);
+        assert_eq!(bd.events().collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn per_match_corrections_compose_to_the_decode_corrections() {
+        let lat = Lattice::new(7).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        let decoder = MwpmDecoder::new(lat.clone());
+        for seed in 0..10u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut patch = CodePatch::new(lat.clone());
+            let mut hist = SyndromeHistory::new(lat.clone());
+            for _ in 0..7 {
+                hist.push(patch.noisy_round(&noise, &mut rng));
+            }
+            hist.push(patch.perfect_round());
+            let outcome = decoder.decode(&hist).unwrap();
+            let mut rebuilt = Vec::new();
+            for m in &outcome.matches {
+                decoder.append_match_corrections(m, &mut rebuilt);
+            }
+            assert_eq!(rebuilt, outcome.corrections, "seed {seed}");
+        }
     }
 }

@@ -1,8 +1,8 @@
-//! Stage-latency tracing: splits a round's lifetime into the four
-//! segments of the serving path and records each into a log₂
-//! [`Histogram`] stripe.
+//! Stage-latency tracing: splits a round's lifetime into the segments
+//! of the serving path and records each into a log₂ [`Histogram`]
+//! stripe.
 //!
-//! Timings are wall-clock nanoseconds read from the owning
+//! The four wall-clock stages are nanoseconds read from the owning
 //! [`MetricsRegistry`]'s monotonic clock, and — unlike counters, which
 //! are exact — they are **sampled** one round in
 //! [`STAGE_SAMPLE_PERIOD`]: the instrumented sites stamp only every
@@ -10,6 +10,11 @@
 //! decode call. The sampling decision is made from counters the sites
 //! already maintain (no RNG), so enabling tracing cannot perturb
 //! decode ordering or determinism.
+//!
+//! [`Stage::CommitLag`] is the odd one out: its unit is **rounds**, not
+//! nanoseconds, and it is recorded exactly (every committed round, no
+//! sampling) — the value comes from the commit watermark the decoder
+//! already reports, so recording it involves no clock reads at all.
 
 use std::sync::Arc;
 
@@ -21,7 +26,8 @@ use crate::registry::MetricsRegistry;
 /// call sites can use `tick % STAGE_SAMPLE_PERIOD == 0`.
 pub const STAGE_SAMPLE_PERIOD: u64 = 8;
 
-/// The four segments of a round's lifetime through the serving path.
+/// The segments of a round's lifetime through the serving path, plus
+/// the commit-lag series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
     /// From `IngestRing::try_push` to `pop_with` — time spent inside
@@ -35,15 +41,19 @@ pub enum Stage {
     /// From corrections becoming available to the `poll_corrections`
     /// call that hands them to the caller.
     PollDrain,
+    /// Rounds-behind-head at the moment a round's corrections were
+    /// committed (unit: rounds, recorded exactly — not sampled).
+    CommitLag,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 4] = [
+    pub const ALL: [Stage; 5] = [
         Stage::RingResidency,
         Stage::QueueWait,
         Stage::Decode,
         Stage::PollDrain,
+        Stage::CommitLag,
     ];
 
     /// The exposition metric name for this stage's histogram.
@@ -53,6 +63,7 @@ impl Stage {
             Stage::QueueWait => "qecool_stage_queue_wait_ns",
             Stage::Decode => "qecool_stage_decode_ns",
             Stage::PollDrain => "qecool_stage_poll_drain_ns",
+            Stage::CommitLag => "qecool_stage_commit_lag_rounds",
         }
     }
 
@@ -65,6 +76,9 @@ impl Stage {
             Stage::PollDrain => {
                 "Sampled ns from corrections ready to poll_corrections draining them"
             }
+            Stage::CommitLag => {
+                "Rounds behind the stream head when a round's corrections committed"
+            }
         }
     }
 
@@ -74,17 +88,18 @@ impl Stage {
             Stage::QueueWait => 1,
             Stage::Decode => 2,
             Stage::PollDrain => 3,
+            Stage::CommitLag => 4,
         }
     }
 }
 
-/// Bundles the four per-stage histograms, get-or-registered against one
+/// Bundles the per-stage histograms, get-or-registered against one
 /// [`MetricsRegistry`] — every service of a sharded fabric constructs
 /// its own `StageTracer` and they all land in the same series.
 #[derive(Debug, Clone)]
 pub struct StageTracer {
     registry: Arc<MetricsRegistry>,
-    histograms: [Arc<Histogram>; 4],
+    histograms: [Arc<Histogram>; 5],
 }
 
 impl StageTracer {

@@ -322,6 +322,8 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+impl qecool::FatalError for CampaignError {}
+
 /// Accumulated per-job state; `mc.shots` doubles as the trial cursor.
 #[derive(Debug, Clone, Default, PartialEq)]
 struct JobState {

@@ -14,6 +14,9 @@
 //! * [`service`] — the long-lived decoding service: per-logical-qubit
 //!   syndrome-stream sessions decoded under the SFQ cycle budget, with
 //!   all three backends behind the [`qecool::api::Decoder`] trait;
+//! * [`window`] — true overlapping sliding-window streaming decoders
+//!   for the UF/MWPM baselines: decode W rounds, commit the oldest
+//!   S < W, slide — bounded commit latency with seam-free overlap;
 //! * [`shard`] — the multi-tenant front end: N service shards, each fed
 //!   by a lock-free bounded ingest ring ([`ring`]), so many producer
 //!   threads push syndrome rounds without taking a service lock;
@@ -60,6 +63,7 @@ pub mod shard;
 pub mod stats;
 pub mod threshold;
 pub mod trials;
+pub mod window;
 
 pub use campaign::{
     derive_seed, CampaignConfig, CampaignError, CampaignJob, CampaignReport, CampaignRunner,
@@ -71,10 +75,11 @@ pub use experiments::{log_grid, sweep, sweep_on, Sweep, SweepPoint};
 pub use montecarlo::{run_monte_carlo, McResult};
 pub use ring::{IngestRing, RingFull};
 pub use service::{
-    DecodeService, LatencyStats, ServiceBackend, ServiceConfig, ServiceError, SessionId,
+    DecodeService, LatencyStats, Polled, ServiceBackend, ServiceConfig, ServiceError, SessionId,
     SessionReport,
 };
 pub use shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
 pub use stats::{CycleAggregate, RateEstimate};
 pub use threshold::{estimate_threshold, Curve, ThresholdEstimate};
 pub use trials::{run_trial, DecoderKind, NoiseKind, TrialConfig, TrialOutcome};
+pub use window::{StreamingMwpm, StreamingUf, WindowConfig};

@@ -80,20 +80,21 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use qecool::api::{DecodeOutput, Decoder};
-use qecool::{QecoolConfig, QecoolDecoder, RegOverflow, DEFAULT_BOUNDARY_PENALTY};
-use qecool_mwpm::MwpmDecoder;
+use qecool::api::{CommitHint, DecodeOutput, Decoder};
+use qecool::{FatalError, QecoolConfig, QecoolDecoder, RegOverflow, DEFAULT_BOUNDARY_PENALTY};
 use qecool_obs::counters::thread_stripe;
 use qecool_obs::{
     Counter, Gauge, MetricsRegistry, Stage, StageTracer, TelemetryHandle, STAGE_SAMPLE_PERIOD,
 };
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
-use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError, SyndromeHistory};
-use qecool_uf::UnionFindDecoder;
+use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError};
+
+pub use crate::window::{StreamingMwpm, StreamingUf, WindowConfig};
 
 /// Which decoder implementation a service's sessions run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,10 +102,12 @@ pub enum ServiceBackend {
     /// On-line QECOOL (the paper's machine): real per-round decode work
     /// under the cycle budget, 7-bit registers, `th_v = 3` lookahead.
     Qecool,
-    /// Union-find baseline: rounds buffer into a window that decodes at
-    /// session close (its published form is a batch algorithm).
+    /// Union-find baseline, served through the true sliding-window
+    /// adapter ([`StreamingUf`]): decode W rounds, commit the oldest
+    /// S < W, slide (see [`ServiceConfig::window`]).
     UnionFind,
-    /// Exact-MWPM baseline: windowed like union-find.
+    /// Exact-MWPM baseline, sliding-windowed like union-find
+    /// ([`StreamingMwpm`]).
     Mwpm,
 }
 
@@ -121,6 +124,11 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Extra hops charged to Boundary-Unit spikes (QECOOL only).
     pub boundary_penalty: u64,
+    /// Window geometry for the sliding-window baselines (UF/MWPM).
+    /// `None` uses [`WindowConfig::default_for`] the configured
+    /// distance (`W = 3d, S = d`). Ignored by the QECOOL backend,
+    /// which commits incrementally as its registers retire.
+    pub window: Option<WindowConfig>,
     /// Telemetry sink. Disabled by default; when enabled the service
     /// maintains the `qecool_service_*`, `qecool_pool_*` and
     /// `qecool_sessions_*` series plus the stage-latency histograms.
@@ -139,6 +147,7 @@ impl ServiceConfig {
             budget,
             threads: 0,
             boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+            window: None,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -146,6 +155,12 @@ impl ServiceConfig {
     /// Pins the pump worker pool to `threads` workers (`0` = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the sliding-window geometry of the UF/MWPM baselines.
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window = Some(window);
         self
     }
 
@@ -310,6 +325,45 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// A failed session is fatal to the tool driving it; the default
+/// exit-code mapping (2) applies.
+impl FatalError for ServiceError {}
+
+/// What [`DecodeService::poll_corrections`] hands back: the fresh
+/// corrections plus the session's commit watermark at the time of the
+/// poll.
+///
+/// Derefs to the correction slice, so call sites that only want the
+/// edges keep reading naturally (`polled.to_vec()`, `polled.iter()`,
+/// `polled.len()`); the watermark rides along for callers that track
+/// finality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Polled<C> {
+    /// Corrections emitted since the previous poll.
+    pub corrections: C,
+    /// Highest session-lifetime round index whose corrections are final
+    /// (see [`DecodeOutput::committed_through`]); `None` while nothing
+    /// has committed.
+    pub committed_through: Option<u64>,
+}
+
+impl<C: Deref<Target = [Edge]>> Deref for Polled<C> {
+    type Target = [Edge];
+
+    fn deref(&self) -> &[Edge] {
+        &self.corrections
+    }
+}
+
+impl<C: IntoIterator> IntoIterator for Polled<C> {
+    type Item = C::Item;
+    type IntoIter = C::IntoIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.corrections.into_iter()
+    }
+}
+
 /// Per-session latency accounting against the cycle budget.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStats {
@@ -328,6 +382,19 @@ pub struct LatencyStats {
     /// Log₂-bucketed distribution of per-round decode costs, for
     /// tail-latency (p99) reporting against the budget.
     pub histogram: CycleHistogram,
+    /// Rounds whose corrections have been committed (covered by the
+    /// session's watermark). Every non-overflowed round commits exactly
+    /// once, so this catches up to `rounds` by session close.
+    pub committed_rounds: u64,
+    /// Total commit lag summed over committed rounds: how many rounds
+    /// behind the stream head each round was when its corrections
+    /// became final.
+    pub total_lag_rounds: u64,
+    /// Largest per-round commit lag observed.
+    pub max_lag_rounds: u64,
+    /// Log₂-bucketed distribution of per-round commit lags (unit:
+    /// rounds), for tail (p99) commit-latency reporting.
+    pub lag_histogram: CycleHistogram,
 }
 
 impl LatencyStats {
@@ -338,6 +405,35 @@ impl LatencyStats {
         self.histogram.record(cycles);
         if !idle {
             self.overruns += 1;
+        }
+    }
+
+    fn record_commit(&mut self, lag_rounds: u64) {
+        self.committed_rounds += 1;
+        self.total_lag_rounds += lag_rounds;
+        self.max_lag_rounds = self.max_lag_rounds.max(lag_rounds);
+        self.lag_histogram.record(lag_rounds);
+    }
+
+    /// Conservative p99 of the commit lag, in rounds behind the stream
+    /// head (the inclusive upper bound of the histogram bucket the p99
+    /// committed round lands in).
+    pub fn commit_lag_p99_rounds(&self) -> u64 {
+        self.lag_histogram.percentile(0.99)
+    }
+
+    /// The p99 commit lag converted to decode cycles via the per-round
+    /// budget — the "how late against the paper's deadline" view.
+    pub fn commit_lag_p99_cycles(&self) -> u64 {
+        self.commit_lag_p99_rounds() * self.budget_cycles
+    }
+
+    /// Mean commit lag in rounds (0 when nothing has committed).
+    pub fn mean_lag_rounds(&self) -> f64 {
+        if self.committed_rounds == 0 {
+            0.0
+        } else {
+            self.total_lag_rounds as f64 / self.committed_rounds as f64
         }
     }
 
@@ -392,6 +488,10 @@ pub struct SessionReport {
     /// an already-failed session are counted here rather than lost
     /// silently.
     pub rounds_dropped: u64,
+    /// The session's final commit watermark. For a non-overflowed
+    /// session the closing drain commits everything remaining, so this
+    /// is `Some(rounds_ingested - 1)` whenever any round was ingested.
+    pub committed_through: Option<u64>,
 }
 
 /// One live session: backend decoder, inbound round queue, emitted
@@ -411,6 +511,12 @@ struct Session {
     overflowed: bool,
     rounds_ingested: u64,
     rounds_dropped: u64,
+    /// Rounds successfully handed to the backend decoder — the stream
+    /// head the commit lag is measured against.
+    fed: u64,
+    /// Highest round index whose corrections are final, mirrored from
+    /// the backend's [`DecodeOutput::committed_through`] watermark.
+    committed_through: Option<u64>,
     /// Telemetry queue-wait stamps, parallel to `inbox` (0 = the round
     /// was not sampled). Empty for the whole session life when the
     /// service's telemetry is disabled.
@@ -437,9 +543,38 @@ impl Session {
             overflowed: false,
             rounds_ingested: 0,
             rounds_dropped: 0,
+            fed: 0,
+            committed_through: None,
             stamps: VecDeque::new(),
             last_emit_ns: 0,
         }
+    }
+
+    /// Folds the backend's watermark advance (left in `scratch` by the
+    /// last `decode_step`/`finish`) into the commit-lag accounting: one
+    /// lag sample — rounds behind the stream head — per newly committed
+    /// round, recorded exactly (not sampled) into the stats and, when
+    /// telemetry is on, the [`Stage::CommitLag`] series.
+    fn note_commits(&mut self, obs: Option<(&ServiceTelemetry, usize)>) {
+        let Some(new) = self.scratch.committed_through else {
+            return;
+        };
+        let start = match self.committed_through {
+            Some(old) if new <= old => return,
+            Some(old) => old + 1,
+            None => 0,
+        };
+        // The backend never commits past what it was fed.
+        debug_assert!(self.fed > new, "watermark ahead of the stream head");
+        let head = self.fed.saturating_sub(1);
+        for r in start..=new {
+            let lag = head - r;
+            self.latency.record_commit(lag);
+            if let Some((t, stripe)) = obs {
+                t.tracer.record(Stage::CommitLag, stripe, lag);
+            }
+        }
+        self.committed_through = Some(new);
     }
 
     /// `stamp`: `None` when telemetry is disabled (the stamp queue stays
@@ -509,10 +644,12 @@ impl Session {
                 }
                 match self.backend.ingest(&round) {
                     Ok(()) => {
+                        self.fed += 1;
                         self.backend.decode_step(Some(budget), &mut self.scratch);
                         self.corrections
                             .extend_from_slice(&self.scratch.corrections);
                         self.latency.record(self.scratch.cycles, self.scratch.idle);
+                        self.note_commits(obs);
                     }
                     Err(RegOverflow { .. }) => self.overflowed = true,
                 }
@@ -545,11 +682,14 @@ impl Session {
     /// Returns the cycles the closing drain consumed. They are reported
     /// separately in the [`SessionReport`] rather than folded into
     /// [`LatencyStats`], which tracks only budget-bound serving rounds.
-    fn finish(&mut self) -> u64 {
+    fn finish(&mut self, obs: Option<(&ServiceTelemetry, usize)>) -> u64 {
         self.stamps.clear();
         while let Some(round) = self.inbox.pop_front() {
-            if !self.overflowed && self.backend.ingest(&round).is_err() {
-                self.overflowed = true;
+            if !self.overflowed {
+                match self.backend.ingest(&round) {
+                    Ok(()) => self.fed += 1,
+                    Err(RegOverflow { .. }) => self.overflowed = true,
+                }
             }
             self.spare.push(round);
         }
@@ -559,6 +699,7 @@ impl Session {
         self.backend.finish(&mut self.scratch);
         self.corrections
             .extend_from_slice(&self.scratch.corrections);
+        self.note_commits(obs);
         self.scratch.cycles
     }
 }
@@ -801,9 +942,31 @@ impl DecodeService {
                 self.lattice.clone(),
                 QecoolConfig::online().with_boundary_penalty(self.config.boundary_penalty),
             )),
-            ServiceBackend::UnionFind => Box::new(StreamingUf::new(self.lattice.clone())),
-            ServiceBackend::Mwpm => Box::new(StreamingMwpm::new(self.lattice.clone())),
+            ServiceBackend::UnionFind => Box::new(StreamingUf::with_config(
+                self.lattice.clone(),
+                self.window_config(),
+            )),
+            ServiceBackend::Mwpm => Box::new(StreamingMwpm::with_config(
+                self.lattice.clone(),
+                self.window_config(),
+            )),
         }
+    }
+
+    /// The effective sliding-window geometry of the UF/MWPM baselines:
+    /// the configured override, or `W = 3d, S = d`.
+    pub fn window_config(&self) -> WindowConfig {
+        self.config
+            .window
+            .unwrap_or_else(|| WindowConfig::default_for(self.config.d))
+    }
+
+    /// The [`CommitHint`] a fresh session's decoder would advertise —
+    /// lets callers (e.g. the bench binaries) distinguish
+    /// cycle-modelled backends from wall-clock-only ones, and read the
+    /// effective commit cadence, without opening a session.
+    pub fn commit_hint(&self) -> CommitHint {
+        self.make_backend().commit_hint()
     }
 
     /// Opens a new session and returns its handle. Slots of closed
@@ -932,15 +1095,16 @@ impl DecodeService {
 
     /// Decodes a session's pending rounds (in arrival order, each under
     /// the cycle budget) and returns the corrections emitted since the
-    /// previous poll. The returned slice is consumed: the next poll only
-    /// reports newer corrections.
+    /// previous poll, together with the session's commit watermark
+    /// ([`Polled::committed_through`]). The returned slice is consumed:
+    /// the next poll only reports newer corrections.
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownSession`] for stale handles,
     /// [`ServiceError::Overflowed`] when the drain hit a register
     /// overflow (the stream is failed; corrections are withdrawn).
-    pub fn poll_corrections(&mut self, id: SessionId) -> Result<&[Edge], ServiceError> {
+    pub fn poll_corrections(&mut self, id: SessionId) -> Result<Polled<&[Edge]>, ServiceError> {
         let budget = self.budget_cycles;
         let obs = self.obs.as_deref();
         let stripe = if obs.is_some() { thread_stripe() } else { 0 };
@@ -959,9 +1123,23 @@ impl DecodeService {
         if session.overflowed {
             return Err(ServiceError::Overflowed);
         }
+        let committed_through = session.committed_through;
         let fresh = &session.corrections[session.consumed..];
         session.consumed = session.corrections.len();
-        Ok(fresh)
+        Ok(Polled {
+            corrections: fresh,
+            committed_through,
+        })
+    }
+
+    /// The session's commit watermark: the highest round index whose
+    /// corrections are final (`None` while nothing has committed).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn committed_through(&self, id: SessionId) -> Result<Option<u64>, ServiceError> {
+        Ok(self.session(id)?.committed_through)
     }
 
     /// Latency accounting of one session so far.
@@ -1141,7 +1319,7 @@ impl DecodeService {
         let slot = &mut self.slots[id.index as usize];
         let mut session = slot.session.take().expect("session just validated");
         self.release_slot(id.index);
-        let closing_cycles = session.finish();
+        let closing_cycles = session.finish(self.obs.as_deref().map(|t| (t, thread_stripe())));
         let corrections = if session.overflowed {
             Vec::new()
         } else {
@@ -1162,6 +1340,7 @@ impl DecodeService {
             overflowed: session.overflowed,
             rounds_ingested: session.rounds_ingested,
             rounds_dropped: session.rounds_dropped,
+            committed_through: session.committed_through,
         })
     }
 
@@ -1185,98 +1364,6 @@ impl DecodeService {
         backend: Box<dyn Decoder + Send>,
     ) {
         self.session_mut(id).expect("live session").backend = backend;
-    }
-}
-
-/// Windowed [`Decoder`] adapter for the union-find baseline: rounds
-/// accumulate in a [`SyndromeHistory`]; the whole window decodes at
-/// [`Decoder::finish`].
-pub struct StreamingUf {
-    decoder: UnionFindDecoder,
-    history: SyndromeHistory,
-}
-
-impl StreamingUf {
-    /// Creates an adapter for the given lattice.
-    pub fn new(lattice: Lattice) -> Self {
-        Self {
-            decoder: UnionFindDecoder::new(lattice.clone()),
-            history: SyndromeHistory::new(lattice),
-        }
-    }
-}
-
-impl Decoder for StreamingUf {
-    fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow> {
-        self.history.push_copy(round);
-        Ok(())
-    }
-
-    fn decode_step(&mut self, _budget: Option<u64>, out: &mut DecodeOutput) {
-        out.clear();
-        out.idle = true;
-    }
-
-    fn finish(&mut self, out: &mut DecodeOutput) {
-        out.clear();
-        out.idle = true;
-        if self.history.is_empty() {
-            return;
-        }
-        let outcome = self.decoder.decode(&self.history);
-        out.corrections.extend_from_slice(&outcome.corrections);
-        self.history.clear();
-    }
-
-    fn reset(&mut self) {
-        self.history.clear();
-    }
-}
-
-/// Windowed [`Decoder`] adapter for the exact-MWPM baseline (see
-/// [`StreamingUf`]).
-pub struct StreamingMwpm {
-    decoder: MwpmDecoder,
-    history: SyndromeHistory,
-}
-
-impl StreamingMwpm {
-    /// Creates an adapter for the given lattice.
-    pub fn new(lattice: Lattice) -> Self {
-        Self {
-            decoder: MwpmDecoder::new(lattice.clone()),
-            history: SyndromeHistory::new(lattice),
-        }
-    }
-}
-
-impl Decoder for StreamingMwpm {
-    fn ingest(&mut self, round: &DetectionRound) -> Result<(), RegOverflow> {
-        self.history.push_copy(round);
-        Ok(())
-    }
-
-    fn decode_step(&mut self, _budget: Option<u64>, out: &mut DecodeOutput) {
-        out.clear();
-        out.idle = true;
-    }
-
-    fn finish(&mut self, out: &mut DecodeOutput) {
-        out.clear();
-        out.idle = true;
-        if self.history.is_empty() {
-            return;
-        }
-        let outcome = self
-            .decoder
-            .decode(&self.history)
-            .expect("doubled graph is matchable");
-        out.corrections.extend_from_slice(&outcome.corrections);
-        self.history.clear();
-    }
-
-    fn reset(&mut self) {
-        self.history.clear();
     }
 }
 

@@ -65,7 +65,7 @@ use qecool_surface_code::{DetectionRound, Edge, Lattice, LatticeError};
 
 use crate::ring::{IngestRing, RingTelemetry};
 use crate::service::{
-    DecodeService, LatencyStats, ServiceConfig, ServiceError, SessionId, SessionReport,
+    DecodeService, LatencyStats, Polled, ServiceConfig, ServiceError, SessionId, SessionReport,
 };
 
 /// Configuration of a [`ShardedDecodeService`]: the per-shard service
@@ -300,6 +300,12 @@ impl ShardedDecodeService {
         self.config.service.budget.cycles_per_round()
     }
 
+    /// The [`CommitHint`](qecool::CommitHint) a fresh session's decoder
+    /// would advertise (identical across shards).
+    pub fn commit_hint(&self) -> qecool::CommitHint {
+        self.shards[0].service.lock().commit_hint()
+    }
+
     /// A global session id encodes its shard in the low bits of the
     /// index (`global = local × N + shard`), so routing is a pure
     /// function of the id and ids stay unique across shards.
@@ -480,8 +486,10 @@ impl ShardedDecodeService {
     }
 
     /// Decodes a session's pending rounds and returns the corrections
-    /// emitted since the previous poll. Drains the session's shard ring
-    /// first, so every round pushed before this call is decoded by it.
+    /// emitted since the previous poll, together with the session's
+    /// commit watermark ([`Polled::committed_through`]). Drains the
+    /// session's shard ring first, so every round pushed before this
+    /// call is decoded by it.
     ///
     /// Returns an owned vector (the solo service hands out a borrow; a
     /// sharded fabric cannot, since the slice lives behind the shard
@@ -490,13 +498,29 @@ impl ShardedDecodeService {
     /// # Errors
     ///
     /// As [`DecodeService::poll_corrections`].
-    pub fn poll_corrections(&self, id: SessionId) -> Result<Vec<Edge>, ServiceError> {
+    pub fn poll_corrections(&self, id: SessionId) -> Result<Polled<Vec<Edge>>, ServiceError> {
         let shard = self.shard_for(id);
         let mut service = shard.service.lock();
         self.drain_ring(shard, &mut service);
         service
             .poll_corrections(self.localize(id))
-            .map(<[Edge]>::to_vec)
+            .map(|polled| Polled {
+                corrections: polled.corrections.to_vec(),
+                committed_through: polled.committed_through,
+            })
+    }
+
+    /// The session's commit watermark (see
+    /// [`DecodeService::committed_through`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for stale handles.
+    pub fn committed_through(&self, id: SessionId) -> Result<Option<u64>, ServiceError> {
+        self.shard_for(id)
+            .service
+            .lock()
+            .committed_through(self.localize(id))
     }
 
     /// Latency accounting of one session so far.

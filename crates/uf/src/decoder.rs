@@ -37,6 +37,47 @@ impl UfOutcome {
     }
 }
 
+/// One erasure component of a union-find decode.
+///
+/// Components are disjoint: every detection event is peeled by exactly
+/// one component, and XOR-composing all component corrections
+/// reproduces the monolithic [`UfOutcome::corrections`]. Sliding-window
+/// callers use the per-component granularity to decide which matches to
+/// *commit* (a component whose earliest defect round falls inside the
+/// commit stride) and which to leave tentative for the next window.
+#[derive(Debug, Clone, Default)]
+pub struct UfComponent {
+    /// Data-qubit corrections contributed by this component
+    /// (XOR-reduced within the component, sorted by qubit index).
+    pub corrections: Vec<Edge>,
+    /// Detection events `(ancilla_index, round)` this component
+    /// explains, in deterministic BFS discovery order. Never empty.
+    pub defects: Vec<(usize, usize)>,
+}
+
+impl UfComponent {
+    /// The earliest round any of this component's defects occurred in.
+    pub fn min_round(&self) -> usize {
+        self.defects
+            .iter()
+            .map(|&(_, t)| t)
+            .min()
+            .expect("a UfComponent always holds at least one defect")
+    }
+}
+
+/// Result of a per-component union-find decode
+/// ([`UnionFindDecoder::decode_components`]).
+#[derive(Debug, Clone, Default)]
+pub struct UfComponentOutcome {
+    /// The disjoint erasure components, in deterministic peel order.
+    pub components: Vec<UfComponent>,
+    /// Growth iterations until all clusters neutralized.
+    pub growth_steps: usize,
+    /// Number of fully-grown (erasure) edges handed to the peeler.
+    pub erasure_edges: usize,
+}
+
 /// Union-find decoder over a [`SyndromeHistory`] (batch decoding).
 ///
 /// # Example
@@ -77,16 +118,53 @@ impl UnionFindDecoder {
 
     /// Decodes a full syndrome history.
     ///
+    /// Equivalent to XOR-composing the corrections of every component
+    /// returned by [`Self::decode_components`].
+    ///
     /// # Panics
     ///
     /// Panics if the history is empty or belongs to a different lattice
     /// size.
     pub fn decode(&self, history: &SyndromeHistory) -> UfOutcome {
+        let parts = self.decode_components(history);
+        let mut qubit_parity = vec![false; self.lattice.num_data_qubits()];
+        for comp in &parts.components {
+            for e in &comp.corrections {
+                qubit_parity[e.index()] ^= true;
+            }
+        }
+        let corrections: Vec<Edge> = qubit_parity
+            .iter()
+            .enumerate()
+            .filter_map(|(q, &on)| on.then_some(Edge(q)))
+            .collect();
+        UfOutcome {
+            corrections,
+            growth_steps: parts.growth_steps,
+            erasure_edges: parts.erasure_edges,
+        }
+    }
+
+    /// Decodes a full syndrome history, keeping the erasure components
+    /// separate.
+    ///
+    /// Each returned component holds the detection events it explains
+    /// and the corrections it contributes; components are disjoint, so
+    /// a sliding-window caller can commit some components (emitting
+    /// their corrections and clearing their defect events from the
+    /// buffered rounds) while discarding others as tentative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty or belongs to a different lattice
+    /// size.
+    pub fn decode_components(&self, history: &SyndromeHistory) -> UfComponentOutcome {
         assert_eq!(
             history.lattice().num_ancillas(),
             self.lattice.num_ancillas(),
             "history lattice does not match decoder lattice"
         );
+        let num_ancillas = self.lattice.num_ancillas();
         let graph = DecodingGraph::new(&self.lattice, history.num_rounds());
         let n = graph.num_nodes();
 
@@ -107,7 +185,7 @@ impl UnionFindDecoder {
         }
         let defects: Vec<usize> = (0..n).filter(|&v| defect[v]).collect();
         if defects.is_empty() {
-            return UfOutcome::default();
+            return UfComponentOutcome::default();
         }
 
         // Phase 1: grow active clusters until neutral.
@@ -153,7 +231,7 @@ impl UnionFindDecoder {
         }
 
         let mut visited = vec![false; n];
-        let mut qubit_parity = vec![false; self.lattice.num_data_qubits()];
+        let mut components: Vec<UfComponent> = Vec::new();
         // Roots: boundary nodes first so defects can drain into them.
         let boundary_roots = (0..n).filter(|&v| graph.is_boundary(v));
         let all_roots: Vec<usize> = boundary_roots.chain(0..n).collect();
@@ -178,7 +256,15 @@ impl UnionFindDecoder {
                     }
                 }
             }
+            // The detection events this component explains, in BFS
+            // discovery order (boundary stubs never carry defects).
+            let comp_defects: Vec<(usize, usize)> = order
+                .iter()
+                .filter(|&&v| defect[v])
+                .map(|&v| (v % num_ancillas, v / num_ancillas))
+                .collect();
             // Peel leaf-first (reverse BFS order).
+            let mut qubit_parity = vec![false; self.lattice.num_data_qubits()];
             let mut carry = defect.clone();
             for &v in order.iter().skip(1).rev() {
                 if carry[v] {
@@ -196,12 +282,23 @@ impl UnionFindDecoder {
                 !carry[root] || graph.is_boundary(root),
                 "peeling left a defect on a non-boundary root"
             );
-            // Propagate the carried defects back into the shared array so
-            // overlapping components (there are none — components are
-            // disjoint) cannot double-count; simply clear the processed
-            // nodes.
+            // Components are disjoint; clear the processed nodes so the
+            // trailing debug_assert can certify full coverage.
             for &v in &order {
                 defect[v] = false;
+            }
+            // Defect-free components contribute no corrections (nothing
+            // to carry) — keep only those that explain real events.
+            if !comp_defects.is_empty() {
+                let corrections: Vec<Edge> = qubit_parity
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(q, &on)| on.then_some(Edge(q)))
+                    .collect();
+                components.push(UfComponent {
+                    corrections,
+                    defects: comp_defects,
+                });
             }
         }
         debug_assert!(
@@ -209,13 +306,8 @@ impl UnionFindDecoder {
             "some defect was outside every erasure component"
         );
 
-        let corrections: Vec<Edge> = qubit_parity
-            .iter()
-            .enumerate()
-            .filter_map(|(q, &on)| on.then_some(Edge(q)))
-            .collect();
-        UfOutcome {
-            corrections,
+        UfComponentOutcome {
+            components,
             growth_steps,
             erasure_edges: erasure.len(),
         }
@@ -321,6 +413,59 @@ mod tests {
                 p2.has_logical_error(),
                 "UF and MWPM disagree on ({q1},{q2})"
             );
+        }
+    }
+
+    #[test]
+    fn components_compose_to_the_monolithic_decode() {
+        let lat = Lattice::new(9).unwrap();
+        let noise = PhenomenologicalNoise::symmetric(0.04);
+        let decoder = UnionFindDecoder::new(lat.clone());
+        for seed in 0..20u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut patch = CodePatch::new(lat.clone());
+            let mut h = SyndromeHistory::new(lat.clone());
+            for _ in 0..9 {
+                h.push(patch.noisy_round(&noise, &mut rng));
+            }
+            h.push(patch.perfect_round());
+
+            let mono = decoder.decode(&h);
+            let parts = decoder.decode_components(&h);
+            assert_eq!(parts.growth_steps, mono.growth_steps);
+            assert_eq!(parts.erasure_edges, mono.erasure_edges);
+
+            // XOR-composing per-component corrections reproduces the
+            // monolithic correction exactly.
+            let mut parity = vec![false; lat.num_data_qubits()];
+            for comp in &parts.components {
+                assert!(!comp.defects.is_empty());
+                assert!(comp.defects.iter().any(|&(_, t)| t == comp.min_round()));
+                for e in &comp.corrections {
+                    parity[e.index()] ^= true;
+                }
+            }
+            let composed: Vec<Edge> = parity
+                .iter()
+                .enumerate()
+                .filter_map(|(q, &on)| on.then_some(Edge(q)))
+                .collect();
+            assert_eq!(composed, mono.corrections, "seed {seed}");
+
+            // Components partition the events: every detection event is
+            // explained exactly once.
+            let mut seen: Vec<(usize, usize)> = parts
+                .components
+                .iter()
+                .flat_map(|c| c.defects.iter().copied())
+                .collect();
+            seen.sort_unstable_by_key(|&(a, t)| (t, a));
+            let events: Vec<(usize, usize)> = h
+                .events()
+                .iter()
+                .map(|ev| (lat.ancilla_index(ev.ancilla), ev.round))
+                .collect();
+            assert_eq!(seen, events, "seed {seed}");
         }
     }
 

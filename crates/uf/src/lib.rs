@@ -41,5 +41,5 @@ pub mod decoder;
 pub mod dsu;
 pub mod graph;
 
-pub use decoder::{UfOutcome, UnionFindDecoder};
+pub use decoder::{UfComponent, UfComponentOutcome, UfOutcome, UnionFindDecoder};
 pub use graph::{DecodingGraph, GraphEdge, GraphEdgeKind};

@@ -7,7 +7,7 @@ use qecool_repro::sim::{
 use qecool_repro::surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
 use qecool_repro::{
     CycleBudget, DecodeService, ServiceBackend, ServiceConfig, SessionId, ShardedDecodeService,
-    ShardedServiceConfig, TelemetryHandle,
+    ShardedServiceConfig, TelemetryHandle, WindowConfig,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -283,6 +283,95 @@ fn sharded_sessions_identical_with_telemetry_enabled() {
             }
             assert_eq!(snapshot.counter_total("qecool_shard_dropped_total"), 0);
             assert_eq!(snapshot.gauge("qecool_sessions_open"), Some(0));
+        }
+    }
+}
+
+/// The sliding-window UF/MWPM backends extend the purity guarantee to
+/// the full commit stream: every poll's corrections AND its commit
+/// watermark are a pure function of the session's round stream — the
+/// shard count, pump-worker count and window geometry may change *when*
+/// work happens, never *what* commits. One poll record per serving
+/// round keeps the per-poll boundaries in the comparison (a flat
+/// concatenation would hide a commit migrating between polls).
+#[test]
+fn windowed_commit_streams_identical_across_shard_and_worker_counts() {
+    let sessions = 4usize;
+    let rounds = 24usize;
+    let lattice = Lattice::new(5).unwrap();
+    let noise = PhenomenologicalNoise::symmetric(0.04);
+
+    type CommitStream = Vec<(Option<u64>, Vec<Edge>)>;
+    let run = |backend: ServiceBackend,
+               window: WindowConfig,
+               shards: usize,
+               threads: usize|
+     -> Vec<(CommitStream, Option<u64>)> {
+        let config = ServiceConfig::new(5, backend, CycleBudget::at_clock(2.0e9))
+            .with_threads(threads)
+            .with_window(window);
+        let service = ShardedDecodeService::new(ShardedServiceConfig::new(config, shards)).unwrap();
+        let ids: Vec<SessionId> = (0..sessions).map(|_| service.open_session()).collect();
+        let mut patches: Vec<CodePatch> = (0..sessions)
+            .map(|_| CodePatch::new(lattice.clone()))
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..sessions)
+            .map(|s| ChaCha8Rng::seed_from_u64(4242 + s as u64))
+            .collect();
+        let mut streams: Vec<CommitStream> = vec![Vec::new(); sessions];
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        for _ in 0..rounds {
+            for s in 0..sessions {
+                patches[s].noisy_round_into(&noise, &mut rngs[s], &mut round);
+                service.push_round(ids[s], &round);
+            }
+            service.pump();
+            for s in 0..sessions {
+                let polled = service.poll_corrections(ids[s]).unwrap();
+                patches[s].apply_corrections(polled.iter().copied());
+                streams[s].push((polled.committed_through, polled.corrections));
+            }
+        }
+        streams
+            .into_iter()
+            .zip(ids)
+            .map(|(stream, id)| {
+                let report = service.close_session(id).unwrap();
+                (stream, report.committed_through)
+            })
+            .collect()
+    };
+
+    for (backend, window) in [
+        (ServiceBackend::UnionFind, WindowConfig::new(9, 3)),
+        (ServiceBackend::UnionFind, WindowConfig::new(15, 5)),
+        (ServiceBackend::Mwpm, WindowConfig::new(9, 3)),
+    ] {
+        let reference = run(backend, window, 1, 1);
+        // The stream is long enough that windows must have committed
+        // *during* serving, not only at close — otherwise this test
+        // would vacuously compare empty watermarks.
+        assert!(
+            reference
+                .iter()
+                .all(|(stream, _)| stream.iter().any(|(w, _)| w.is_some())),
+            "{backend:?} {window:?}: no mid-stream commits to compare"
+        );
+        for (_, committed_at_close) in &reference {
+            assert_eq!(
+                *committed_at_close,
+                Some(rounds as u64 - 1),
+                "{backend:?} {window:?}: close must commit the whole stream"
+            );
+        }
+        for shards in [2usize, 4] {
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    run(backend, window, shards, threads),
+                    reference,
+                    "{backend:?} {window:?} at {shards} shards x {threads} workers"
+                );
+            }
         }
     }
 }
