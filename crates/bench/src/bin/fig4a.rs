@@ -10,7 +10,7 @@
 //! ```
 
 use qecool_bench::{fmt_rate, Options, TextTable, PAPER_DISTANCES};
-use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecoderKind, NoiseKind};
+use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecoderKind, NoiseSpec};
 
 fn main() {
     let opts = Options::parse(1000);
@@ -26,7 +26,7 @@ fn main() {
         let result = sweep_on(
             &engine,
             decoder,
-            NoiseKind::Phenomenological,
+            opts.noise_or(NoiseSpec::Phenomenological { p: 0.0 }),
             &PAPER_DISTANCES,
             &ps,
             opts.seed,

@@ -16,7 +16,7 @@
 //! ```
 
 use qecool_bench::{Options, TextTable, PAPER_DISTANCES};
-use qecool_sim::{log_grid, sweep_on, DecoderKind, NoiseKind};
+use qecool_sim::{log_grid, sweep_on, DecoderKind, NoiseSpec};
 
 fn main() {
     let opts = Options::parse(600);
@@ -37,7 +37,7 @@ fn main() {
     let result = sweep_on(
         &engine,
         DecoderKind::BatchQecool,
-        NoiseKind::Phenomenological,
+        opts.noise_or(NoiseSpec::Phenomenological { p: 0.0 }),
         &PAPER_DISTANCES,
         &ps,
         opts.seed,

@@ -12,7 +12,7 @@
 
 use qecool_bench::{fmt_rate, Options, TextTable, PAPER_DISTANCES};
 use qecool_sfq::power::{cycles_per_measurement, FIG7_FREQUENCIES_HZ, MEASUREMENT_INTERVAL_S};
-use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecoderKind, NoiseKind};
+use qecool_sim::{estimate_threshold, log_grid, sweep_on, DecoderKind, NoiseSpec};
 
 fn main() {
     let opts = Options::parse(1000);
@@ -35,7 +35,7 @@ fn main() {
             DecoderKind::OnlineQecool {
                 budget_cycles: budget,
             },
-            NoiseKind::Phenomenological,
+            opts.noise_or(NoiseSpec::Phenomenological { p: 0.0 }),
             &PAPER_DISTANCES,
             &ps,
             opts.seed,

@@ -4,7 +4,14 @@
 //! ingest rings.
 //!
 //! Each session models one logical qubit: its own patch, its own seeded
-//! noise stream, its own decoder state inside its shard's service. Every
+//! noise stream (any `--noise` family of the
+//! [`NoiseSpec`] matrix), its own
+//! decoder state inside its shard's service — or, under `--replay`, a
+//! pre-recorded detection-event stream pulled from a bit-packed file
+//! through the same [`SyndromeSource`] seam.
+//! `--record FILE` writes the live run to such a file; replaying it
+//! reproduces the session digest byte for byte (the recording bakes
+//! the correction feedback in). Every
 //! benchmark round batch-pushes one detection round per session through
 //! the rings, pumps the shards' worker pools, polls corrections and
 //! applies them — the steady-state serving loop. Reported: wall-clock
@@ -29,10 +36,15 @@
 //! ```text
 //! cargo run --release -p qecool-bench --bin service_bench -- \
 //!     [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
-//!     [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--window W] [--stride S] \
+//!     [--p P] [--noise SPEC] [--record FILE] [--replay FILE] [--ghz F] \
+//!     [--backend qecool|uf|mwpm] [--window W] [--stride S] \
 //!     [--seed S] [--smoke] [--json FILE] [--metrics FILE|-] \
 //!     [--metrics-json FILE|-] [--metrics-interval-ms MS]
 //! ```
+//!
+//! Under `--replay` the file dictates the serving geometry: `--d`,
+//! `--sessions` and `--rounds` are overridden by the recorded header
+//! (one stream per session, planes round-major).
 //!
 //! `--window W --stride S` set the sliding-window geometry of the
 //! UF/MWPM backends (default `W = 3d, S = d`): the session digest then
@@ -42,13 +54,17 @@
 //! model (UF/MWPM) print `n/a (no cycle model)` for the decode-cycle
 //! rows instead of a misleading zero.
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use qecool::{SimulatedSource, SyndromeSource};
 use qecool_bench::{
-    parse_ghz, parse_or_die, parse_threads, perf::write_records, perf::BenchRecord, require_value,
-    usage_error, TextTable,
+    parse_ghz, parse_noise, parse_or_die, parse_rate, parse_threads, perf::write_records,
+    perf::BenchRecord, require_value, usage_error, TextTable,
 };
 use qecool_obs::{Snapshot, TelemetryHandle};
 use qecool_sfq::budget::{CycleBudget, CycleHistogram};
@@ -56,7 +72,9 @@ use qecool_sim::campaign::derive_seed;
 use qecool_sim::ring::IngestRing;
 use qecool_sim::service::{DecodeService, ServiceBackend, ServiceConfig, SessionId, WindowConfig};
 use qecool_sim::shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
-use qecool_surface_code::{CodePatch, DetectionRound, Edge, Lattice, PhenomenologicalNoise};
+use qecool_surface_code::{
+    CodePatch, DetectionRound, Edge, Lattice, NoiseModel, NoiseSpec, PackedReader, PackedWriter,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -68,6 +86,13 @@ struct BenchOptions {
     shards: usize,
     d: usize,
     p: f64,
+    /// Noise-family override; `None` = phenomenological at `p`.
+    noise: Option<NoiseSpec>,
+    /// Record the live session streams to this packed file.
+    record: Option<String>,
+    /// Replay session streams from this packed file instead of
+    /// simulating (mutually exclusive with `--record`/`--noise`).
+    replay: Option<String>,
     ghz: f64,
     backend: ServiceBackend,
     /// Sliding-window length override for the UF/MWPM backends.
@@ -93,6 +118,9 @@ impl BenchOptions {
             shards: 1,
             d: 5,
             p: 0.01,
+            noise: None,
+            record: None,
+            replay: None,
             ghz: 2.0,
             backend: ServiceBackend::Qecool,
             window: None,
@@ -137,8 +165,17 @@ impl BenchOptions {
                 }
                 "--p" => {
                     let v = require_value(&mut args, "--p");
-                    opts.p = parse_or_die(&v, "--p", "a physical error rate in [0, 1)");
+                    // Routed through the NoiseSpec validator so an
+                    // out-of-range rate is a named exit-2 error, not a
+                    // noise-constructor panic downstream.
+                    opts.p = parse_rate(&v, "--p");
                 }
+                "--noise" => {
+                    let v = require_value(&mut args, "--noise");
+                    opts.noise = Some(parse_noise(&v));
+                }
+                "--record" => opts.record = Some(require_value(&mut args, "--record")),
+                "--replay" => opts.replay = Some(require_value(&mut args, "--replay")),
                 "--ghz" => {
                     let v = require_value(&mut args, "--ghz");
                     opts.ghz = parse_ghz(&v);
@@ -186,7 +223,8 @@ impl BenchOptions {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sessions N] [--rounds N] [--threads N] [--shards N] [--d D] \
-                         [--p P] [--ghz F] [--backend qecool|uf|mwpm] [--window W] [--stride S] \
+                         [--p P] [--noise SPEC] [--record FILE] [--replay FILE] [--ghz F] \
+                         [--backend qecool|uf|mwpm] [--window W] [--stride S] \
                          [--seed S] [--smoke] [--json FILE] [--metrics FILE|-] \
                          [--metrics-json FILE|-] [--metrics-interval-ms MS]"
                     );
@@ -197,6 +235,31 @@ impl BenchOptions {
         }
         if opts.metrics_interval_ms > 0 && opts.metrics.is_none() && opts.metrics_json.is_none() {
             usage_error("--metrics-interval-ms needs --metrics and/or --metrics-json");
+        }
+        if opts.record.is_some() && opts.replay.is_some() {
+            usage_error("--record and --replay are mutually exclusive");
+        }
+        if let Some(path) = opts.replay.clone() {
+            if opts.noise.is_some() {
+                usage_error("--replay serves recorded rounds; --noise would be ignored, drop one");
+            }
+            // The recording dictates the serving geometry: one session
+            // per stream, the recorded round count, the recorded code
+            // distance.
+            let reader = match PackedReader::open(Path::new(&path)) {
+                Ok(r) => r,
+                Err(e) => qecool::exit_with(&e),
+            };
+            let header = *reader.header();
+            if header.distance == 0 {
+                usage_error(&format!("--replay {path}: file declares no code distance"));
+            }
+            if header.rounds == 0 {
+                usage_error(&format!("--replay {path}: file contains no rounds"));
+            }
+            opts.d = header.distance as usize;
+            opts.sessions = header.streams as usize;
+            opts.rounds = header.rounds as usize;
         }
         // Validate the window geometry eagerly so a bad pair is a CLI
         // error, not an assertion inside the fabric.
@@ -224,6 +287,138 @@ impl BenchOptions {
 
     fn telemetry_requested(&self) -> bool {
         self.metrics.is_some() || self.metrics_json.is_some()
+    }
+
+    /// The effective noise spec of a live run: `--noise` wins, else
+    /// phenomenological at `--p`.
+    fn noise_spec(&self) -> NoiseSpec {
+        self.noise
+            .unwrap_or(NoiseSpec::Phenomenological { p: self.p })
+    }
+}
+
+/// Where the sessions' detection rounds come from — the two sides of
+/// the [`SyndromeSource`] seam. Live runs wrap patch + noise + RNG in
+/// one [`SimulatedSource`] per session (optionally recording every
+/// plane through the packed writer); replay runs pull the recorded
+/// planes back out of the file, one stream per session, round-major.
+enum SessionFeed {
+    Live {
+        sources: Vec<SimulatedSource>,
+        recorder: Option<PackedWriter<BufWriter<File>>>,
+    },
+    Replay {
+        reader: PackedReader<BufReader<File>>,
+    },
+}
+
+impl SessionFeed {
+    fn open(opts: &BenchOptions, lattice: &Lattice) -> Self {
+        if let Some(path) = &opts.replay {
+            let reader = match PackedReader::open(Path::new(path)) {
+                Ok(r) => r,
+                Err(e) => qecool::exit_with(&e),
+            };
+            let header = *reader.header();
+            if header.streams as usize != opts.sessions
+                || header.num_detectors as usize != lattice.num_ancillas()
+            {
+                usage_error(&format!(
+                    "--replay {path}: recorded shape ({} streams, {} detectors) does not match                      the fabric ({} sessions, {} detectors)",
+                    header.streams,
+                    header.num_detectors,
+                    opts.sessions,
+                    lattice.num_ancillas(),
+                ));
+            }
+            Self::Replay { reader }
+        } else {
+            let spec = opts.noise_spec();
+            let noise = spec.build();
+            let sources = (0..opts.sessions)
+                .map(|s| {
+                    SimulatedSource::new(
+                        CodePatch::new(lattice.clone()),
+                        noise,
+                        // Session `s` noise comes from derive_seed
+                        // stream `s`: adjacent base seeds no longer
+                        // share all-but-one session stream.
+                        ChaCha8Rng::seed_from_u64(derive_seed(opts.seed, s as u64, 0)),
+                    )
+                })
+                .collect();
+            let recorder = opts.record.as_ref().map(|path| {
+                let erasure_width = if noise.tracks_erasures() {
+                    lattice.num_data_qubits() as u32
+                } else {
+                    0
+                };
+                match PackedWriter::create(
+                    Path::new(path),
+                    lattice.distance() as u32,
+                    lattice.num_ancillas() as u32,
+                    opts.sessions as u32,
+                    erasure_width,
+                ) {
+                    Ok(w) => w,
+                    Err(e) => qecool::exit_with(&e),
+                }
+            });
+            Self::Live { sources, recorder }
+        }
+    }
+
+    /// Produces the next detection round for every session.
+    fn fill_rounds(&mut self, rounds: &mut [DetectionRound]) {
+        match self {
+            Self::Live { sources, recorder } => {
+                for (source, out) in sources.iter_mut().zip(rounds.iter_mut()) {
+                    source
+                        .next_round_into(out)
+                        .expect("an unlimited simulated source never runs dry");
+                }
+                if let Some(writer) = recorder {
+                    for (source, out) in sources.iter().zip(rounds.iter()) {
+                        if let Err(e) = writer.write_plane(out.events(), source.erasures()) {
+                            qecool::exit_with(&e);
+                        }
+                    }
+                }
+            }
+            Self::Replay { reader } => {
+                for out in rounds.iter_mut() {
+                    if reader.next_round_into(out).is_none() {
+                        match reader.take_error() {
+                            Some(e) => qecool::exit_with(&e),
+                            None => usage_error("--replay file ran out of rounds mid-serve"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds decoded corrections back. Live sources fold them into
+    /// their patch (closing the physical feedback loop); replay is the
+    /// trait's no-op — the recording already baked the feedback into
+    /// the planes, which is exactly why replayed digests match.
+    fn apply_corrections(&mut self, session: usize, corrections: &[Edge]) {
+        if let Self::Live { sources, .. } = self {
+            sources[session].apply_corrections(corrections);
+        }
+    }
+
+    /// Seals a recording (patches the header's round count in place).
+    fn finish(self) {
+        if let Self::Live {
+            recorder: Some(writer),
+            ..
+        } = self
+        {
+            if let Err(e) = writer.finish() {
+                qecool::exit_with(&e);
+            }
+        }
     }
 }
 
@@ -325,17 +520,11 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
         Err(e) => usage_error(&format!("--d: {e}")),
     };
     let lattice = Lattice::new(opts.d).expect("distance validated above");
-    let noise = PhenomenologicalNoise::symmetric(opts.p);
 
     let ids: Vec<SessionId> = (0..opts.sessions).map(|_| service.open_session()).collect();
-    let mut patches: Vec<CodePatch> = (0..opts.sessions)
-        .map(|_| CodePatch::new(lattice.clone()))
-        .collect();
-    let mut rngs: Vec<ChaCha8Rng> = (0..opts.sessions)
-        // Session `s` noise comes from derive_seed stream `s`: adjacent
-        // base seeds no longer share all-but-one session stream.
-        .map(|s| ChaCha8Rng::seed_from_u64(derive_seed(opts.seed, s as u64, 0)))
-        .collect();
+    // Every session is fed through the SyndromeSource seam — live
+    // simulation (optionally recorded) or packed-file replay.
+    let mut feed = SessionFeed::open(opts, &lattice);
     // One round buffer per session so a whole benchmark round can go
     // through the batched ring-ingest path in one call.
     let mut rounds: Vec<DetectionRound> = (0..opts.sessions)
@@ -346,9 +535,7 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
     let start = Instant::now();
     let mut total_corrections = 0u64;
     for _ in 0..opts.rounds {
-        for s in 0..opts.sessions {
-            patches[s].noisy_round_into(&noise, &mut rngs[s], &mut rounds[s]);
-        }
+        feed.fill_rounds(&mut rounds);
         // Ring ingest is fire-and-forget: an overflowed session's rounds
         // drain into drop accounting and surface in its close report.
         service.push_rounds(ids.iter().copied().zip(rounds.iter()));
@@ -361,10 +548,11 @@ fn serve(opts: &BenchOptions, telemetry: TelemetryHandle) -> ServeOutcome {
                 // it is part of the determinism contract: fold every
                 // poll's committed-through value in (`0` = none yet).
                 digests[s].push(fresh.committed_through.map_or(0, |w| w + 1));
-                patches[s].apply_corrections(fresh.iter().copied());
+                feed.apply_corrections(s, &fresh);
             }
         }
     }
+    feed.finish();
     let elapsed = start.elapsed();
     // Workers actually spawned by the pumps above — can exceed the
     // requested budget when shards > threads (one-worker-per-shard
@@ -489,9 +677,15 @@ const OVERHEAD_MIN_ROUNDS_TOTAL: usize = 16_000;
 /// the perf gate floors at its absolute constant.
 fn measure_telemetry_overhead(opts: &BenchOptions) -> f64 {
     let mut opts = opts.clone();
-    opts.rounds = opts
-        .rounds
-        .max(OVERHEAD_MIN_ROUNDS_TOTAL / opts.sessions.max(1));
+    // The arms are for timing only: never re-record (the main serve
+    // already wrote the file), and a replay arm cannot be floored past
+    // the file's recorded length.
+    opts.record = None;
+    if opts.replay.is_none() {
+        opts.rounds = opts
+            .rounds
+            .max(OVERHEAD_MIN_ROUNDS_TOTAL / opts.sessions.max(1));
+    }
     let opts = &opts;
     let mut best = [0.0f64; 2]; // [disabled, enabled]
     let mut digests = [None::<u64>; 2];
@@ -529,14 +723,18 @@ fn main() {
     };
     let budget_cycles = CycleBudget::at_clock(opts.ghz * 1e9).cycles_per_round();
 
+    let feed_desc = match &opts.replay {
+        Some(path) => format!("replay:{path}"),
+        None => opts.noise_spec().to_string(),
+    };
     eprintln!(
-        "serving {} sessions x {} rounds on {} shard(s) (d = {}, p = {}, {:?} @ {} GHz = {} \
+        "serving {} sessions x {} rounds on {} shard(s) (d = {}, noise = {}, {:?} @ {} GHz = {} \
          cycles/round{})...",
         opts.sessions,
         opts.rounds,
         opts.shards,
         opts.d,
-        opts.p,
+        feed_desc,
         opts.backend,
         opts.ghz,
         budget_cycles,
@@ -749,6 +947,15 @@ fn main() {
             _ => (0, 0),
         };
         let mean_lag = outcome.total_lag_rounds as f64 / outcome.committed_rounds.max(1) as f64;
+        // Provenance tags: which noise family the sessions ran under
+        // (or that they came from an external recording).
+        let (noise_family, noise_params) = match &opts.replay {
+            Some(path) => ("external".to_owned(), format!("file={path}")),
+            None => {
+                let spec = opts.noise_spec();
+                (spec.family().to_owned(), spec.params())
+            }
+        };
         let record = BenchRecord::new(record_name, outcome.throughput)
             .with("p99_cycles", outcome.p99_cycles as f64)
             .with("budget_cycles", budget_cycles as f64)
@@ -768,7 +975,9 @@ fn main() {
             .with("commit_lag_max_rounds", outcome.max_lag_rounds as f64)
             .with("commit_lag_mean_rounds", mean_lag)
             .with("ingest_rounds_per_sec", ingest_rounds_per_sec)
-            .with("telemetry_throughput_ratio", telemetry_ratio);
+            .with("telemetry_throughput_ratio", telemetry_ratio)
+            .with_tag("noise_family", noise_family)
+            .with_tag("noise_params", noise_params);
         write_records(path, std::slice::from_ref(&record));
         eprintln!("wrote {path}");
     }

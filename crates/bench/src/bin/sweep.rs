@@ -1,9 +1,10 @@
 //! Checkpointable logical-error-rate sweep: the campaign-runner front
 //! door, and the binary the CI kill/resume smoke leg drives.
 //!
-//! Runs a fixed `(d × p)` batch-QECOOL sweep under phenomenological
-//! noise through [`qecool_sim::CampaignRunner`]: deterministic chunked
-//! execution,
+//! Runs a fixed `(d × p)` batch-QECOOL sweep — under phenomenological
+//! noise by default, or any `--noise family[:k=v,…]` of the
+//! [`NoiseSpec`] matrix — through [`qecool_sim::CampaignRunner`]:
+//! deterministic chunked execution,
 //! optional `--target-ci` adaptive stop rule, and `--checkpoint`
 //! atomic checkpoint files a later `--resume` run continues from —
 //! byte-identically to an uninterrupted run.
@@ -24,7 +25,7 @@
 use qecool::json::{obj, Json};
 use qecool_bench::{fmt_rate, perf::BenchRecord, Options, TextTable};
 use qecool_sim::{
-    CampaignJob, CampaignReport, CampaignStatus, DecoderKind, JobStatus, NoiseKind, TrialConfig,
+    CampaignJob, CampaignReport, CampaignStatus, DecoderKind, JobStatus, NoiseSpec, TrialConfig,
 };
 
 /// The sweep grid: small enough for CI smoke runs, wide enough to give
@@ -51,7 +52,7 @@ fn job_status_str(status: JobStatus) -> &'static str {
 /// Renders the campaign report as deterministic JSON — integer counters
 /// exact, floats in shortest-round-trip form, key order fixed — so two
 /// equal reports produce byte-identical files.
-fn render_results(jobs: &[CampaignJob], report: &CampaignReport) -> String {
+fn render_results(noise: NoiseSpec, jobs: &[CampaignJob], report: &CampaignReport) -> String {
     let points: Vec<Json> = jobs
         .iter()
         .zip(&report.results)
@@ -61,7 +62,7 @@ fn render_results(jobs: &[CampaignJob], report: &CampaignReport) -> String {
             let (ci_lo, ci_hi) = est.clopper_pearson_interval();
             obj([
                 ("d", Json::UInt(job.trial.d as u128)),
-                ("p", Json::Num(job.trial.p)),
+                ("p", Json::Num(job.trial.p())),
                 ("shots", Json::UInt(mc.shots as u128)),
                 ("failures", Json::UInt(mc.failures as u128)),
                 ("overflows", Json::UInt(mc.overflows as u128)),
@@ -75,6 +76,10 @@ fn render_results(jobs: &[CampaignJob], report: &CampaignReport) -> String {
         .collect();
     let mut out = obj([
         ("status", Json::Str(status_str(report.status).to_owned())),
+        // The family the whole grid ran under — distinct families must
+        // produce distinct results files even at identical rates.
+        ("noise", Json::Str(noise.to_string())),
+        ("noise_family", Json::Str(noise.family().to_owned())),
         ("points", Json::Arr(points)),
     ])
     .render();
@@ -86,6 +91,10 @@ fn main() {
     let (opts, campaign) = Options::parse_campaign(200);
     let engine = opts.engine();
     let start = std::time::Instant::now();
+    // The spec fixes family + shape parameters; the PS axis replaces
+    // the rate per point. Swapping the family changes the job-list
+    // hash, so checkpoints never resume across families.
+    let noise = opts.noise_or(NoiseSpec::Phenomenological { p: 0.0 });
 
     let jobs: Vec<CampaignJob> = DS
         .iter()
@@ -93,10 +102,13 @@ fn main() {
             PS.iter().map(move |&p| CampaignJob {
                 trial: TrialConfig {
                     d,
-                    p,
-                    rounds: d,
+                    rounds: if matches!(noise, NoiseSpec::CodeCapacity { .. }) {
+                        1
+                    } else {
+                        d
+                    },
                     decoder: DecoderKind::BatchQecool,
-                    noise: NoiseKind::Phenomenological,
+                    noise: noise.with_rate(p),
                     boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
                 },
                 shots: opts.shots,
@@ -111,7 +123,7 @@ fn main() {
     for ((job, mc), &status) in jobs.iter().zip(&report.results).zip(&report.job_status) {
         table.row([
             job.trial.d.to_string(),
-            format!("{}", job.trial.p),
+            format!("{}", job.trial.p()),
             mc.shots.to_string(),
             mc.failures.to_string(),
             fmt_rate(mc.logical_error_rate()),
@@ -126,13 +138,15 @@ fn main() {
         report.shots_run
     );
     opts.write_csv(&table.to_csv());
-    campaign.write_results(&render_results(&jobs, &report));
+    campaign.write_results(&render_results(noise, &jobs, &report));
 
     let elapsed = start.elapsed().as_secs_f64();
     let shots = engine.tally().shots();
     opts.write_bench_json(
         &BenchRecord::new("sweep", shots as f64 / elapsed.max(1e-12))
             .with("shots", shots as f64)
-            .with("wall_seconds", elapsed),
+            .with("wall_seconds", elapsed)
+            .with_tag("noise_family", noise.family())
+            .with_tag("noise_params", noise.params()),
     );
 }

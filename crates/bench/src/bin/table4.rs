@@ -15,47 +15,55 @@
 //! threshold sweeps run as **one checkpointed campaign** (see the
 //! `sweep` binary and `qecool_sim::campaign`): preemption-proof, with
 //! byte-identical resume.
+//!
+//! `--noise family[:k=v,…]` swaps the noise family of the **3-D**
+//! (circuit-level-time) sweeps — the rows whose default is
+//! phenomenological. The 2-D rows stay code-capacity by construction:
+//! that is what a 2-D threshold *is*.
 
 use qecool_bench::{perf::BenchRecord, CampaignOpts, Options, TextTable};
 use qecool_sfq::compare::{table4_literature_rows, table4_paper_qecool_row};
 use qecool_sim::{
-    estimate_threshold, log_grid, sweep_on, CampaignJob, DecodeEngine, DecoderKind, NoiseKind,
+    estimate_threshold, log_grid, sweep_on, CampaignJob, DecodeEngine, DecoderKind, NoiseSpec,
     Sweep, SweepPoint, TrialConfig,
 };
 
 /// One of the four threshold campaigns a table4 run measures.
 struct ThresholdSpec {
     label: &'static str,
-    noise: NoiseKind,
+    noise: NoiseSpec,
     decoder: DecoderKind,
     ps: Vec<f64>,
 }
 
 const DS: [usize; 4] = [5, 7, 9, 11];
 
-fn specs() -> Vec<ThresholdSpec> {
+/// The sweep rate axes carry the rates; each spec's `NoiseSpec` rate is
+/// a placeholder replaced per point by `with_rate`. `noise_3d` is the
+/// `--noise` override for the time-extended sweeps.
+fn specs(noise_3d: NoiseSpec) -> Vec<ThresholdSpec> {
     vec![
         ThresholdSpec {
             label: "union-find 3-D",
-            noise: NoiseKind::Phenomenological,
+            noise: noise_3d,
             decoder: DecoderKind::UnionFind,
             ps: log_grid(0.01, 0.06, 7),
         },
         ThresholdSpec {
             label: "union-find 2-D",
-            noise: NoiseKind::CodeCapacity,
+            noise: NoiseSpec::CodeCapacity { p: 0.0 },
             decoder: DecoderKind::UnionFind,
             ps: log_grid(0.03, 0.2, 7),
         },
         ThresholdSpec {
             label: "QECOOL 2-D (code-capacity)",
-            noise: NoiseKind::CodeCapacity,
+            noise: NoiseSpec::CodeCapacity { p: 0.0 },
             decoder: DecoderKind::BatchQecool,
             ps: log_grid(0.01, 0.15, 8),
         },
         ThresholdSpec {
             label: "QECOOL 3-D (on-line, 2 GHz)",
-            noise: NoiseKind::Phenomenological,
+            noise: noise_3d,
             decoder: DecoderKind::OnlineQecool {
                 budget_cycles: 2000,
             },
@@ -67,14 +75,13 @@ fn specs() -> Vec<ThresholdSpec> {
 fn spec_trial(spec: &ThresholdSpec, d: usize, p: f64) -> TrialConfig {
     TrialConfig {
         d,
-        p,
-        rounds: if spec.noise == NoiseKind::CodeCapacity {
+        rounds: if matches!(spec.noise, NoiseSpec::CodeCapacity { .. }) {
             1
         } else {
             d
         },
         decoder: spec.decoder,
-        noise: spec.noise,
+        noise: spec.noise.with_rate(p),
         boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
     }
 }
@@ -133,7 +140,7 @@ fn measured_thresholds_campaign(
                 points: span
                     .map(|i| SweepPoint {
                         d: jobs[i].trial.d,
-                        p: jobs[i].trial.p,
+                        p: jobs[i].trial.p(),
                         mc: report.results[i].clone(),
                     })
                     .collect(),
@@ -148,7 +155,8 @@ fn main() {
     let engine = opts.engine();
     let start = std::time::Instant::now();
 
-    let all = specs();
+    let noise_3d = opts.noise_or(NoiseSpec::Phenomenological { p: 0.0 });
+    let all = specs(noise_3d);
     let campaign_mode =
         campaign.checkpoint.is_some() || campaign.resume || campaign.target_ci.is_some();
     let thresholds: Vec<Option<f64>> = if campaign_mode {
@@ -215,6 +223,8 @@ fn main() {
     opts.write_bench_json(
         &BenchRecord::new("table4", shots as f64 / elapsed.max(1e-12))
             .with("shots", shots as f64)
-            .with("wall_seconds", elapsed),
+            .with("wall_seconds", elapsed)
+            .with_tag("noise_family", noise_3d.family())
+            .with_tag("noise_params", noise_3d.params()),
     );
 }

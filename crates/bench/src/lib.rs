@@ -10,7 +10,11 @@
 //! * `--smoke` — minimal shots for a CI liveness check (÷50, floor 10);
 //! * `--threads N` — decode-engine worker threads (must be ≥ 1; omit
 //!   the flag to use all cores);
-//! * `--out FILE` — additionally write machine-readable CSV.
+//! * `--out FILE` — additionally write machine-readable CSV;
+//! * `--noise SPEC` — noise-family override, `family[:k=v,…]` (see
+//!   [`qecool_surface_code::NoiseSpec::parse`]); the sweep rate axis
+//!   still replaces the rate per point, so the spec picks the family
+//!   and shape parameters (`q`, `eta`, burst geometry), not the rate.
 //!
 //! All binaries run their campaigns on one shared
 //! [`DecodeEngine`](qecool_sim::DecodeEngine), built by
@@ -36,6 +40,9 @@ pub struct Options {
     /// Optional machine-readable perf-record output path (`--json`),
     /// consumed by the `perf_gate` regression comparator.
     pub json: Option<String>,
+    /// Noise-family override (`--noise family[:k=v,…]`); `None` means
+    /// the binary's own default family.
+    pub noise: Option<qecool_surface_code::NoiseSpec>,
 }
 
 impl Options {
@@ -65,6 +72,7 @@ impl Options {
             threads: 0,
             out: None,
             json: None,
+            noise: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -85,6 +93,10 @@ impl Options {
                 }
                 "--out" => opts.out = Some(require_value(&mut args, "--out")),
                 "--json" => opts.json = Some(require_value(&mut args, "--json")),
+                "--noise" => {
+                    let v = require_value(&mut args, "--noise");
+                    opts.noise = Some(parse_noise(&v));
+                }
                 "--help" | "-h" => {
                     let campaign_usage = if campaign.is_some() {
                         " [--checkpoint FILE] [--resume] [--target-ci W] [--budget N] \
@@ -95,7 +107,7 @@ impl Options {
                     };
                     eprintln!(
                         "usage: [--shots N] [--seed S] [--fast] [--smoke] [--threads N] \
-                         [--out FILE] [--json FILE]{campaign_usage}"
+                         [--out FILE] [--json FILE] [--noise SPEC]{campaign_usage}"
                     );
                     std::process::exit(0);
                 }
@@ -135,6 +147,40 @@ impl Options {
             eprintln!("wrote {path}");
         }
     }
+
+    /// The effective noise spec: the `--noise` override, or `default`
+    /// (each binary's own family, usually phenomenological with a
+    /// placeholder rate the sweep replaces per point).
+    pub fn noise_or(
+        &self,
+        default: qecool_surface_code::NoiseSpec,
+    ) -> qecool_surface_code::NoiseSpec {
+        self.noise.unwrap_or(default)
+    }
+}
+
+/// Parses a `--noise family[:k=v,…]` spec, exiting 2 through the
+/// [`qecool::FatalError`] path on malformed input — the error names the
+/// offending family/key/value, and a validated spec can never reach a
+/// noise-model constructor's panic.
+pub fn parse_noise(value: &str) -> qecool_surface_code::NoiseSpec {
+    match qecool_surface_code::NoiseSpec::parse(value) {
+        Ok(spec) => spec,
+        Err(e) => qecool::exit_with(&e),
+    }
+}
+
+/// Parses a bare physical-error-rate flag (`--p`), exiting 2 through
+/// the [`qecool::FatalError`] path when the rate is outside `[0, 1)` —
+/// previously an unvalidated value rode straight into
+/// [`PhenomenologicalNoise::new`](qecool_surface_code::PhenomenologicalNoise::new)'s
+/// panic.
+pub fn parse_rate(value: &str, flag: &str) -> f64 {
+    let p: f64 = parse_or_die(value, flag, "a physical error rate in [0, 1)");
+    if let Err(e) = (qecool_surface_code::NoiseSpec::Phenomenological { p }).validate() {
+        qecool::exit_with(&e);
+    }
+    p
 }
 
 /// The campaign flag set of the checkpoint/restart-capable bins
@@ -464,7 +510,9 @@ pub const PAPER_DISTANCES: [usize; 5] = [5, 7, 9, 11, 13];
 /// workspace hand-rolls its JSON: records here render through a small
 /// writer and parse through the shared [`qecool::json`] tree (which the
 /// campaign checkpoints also use). The shape is an array of flat
-/// objects with a string `"name"` and numeric metrics. `service_bench`
+/// objects with a string `"name"`, numeric metrics, and optional
+/// string tags (provenance such as `noise_family`, ignored by the
+/// gate). `service_bench`
 /// and `table4` emit records via `--json`; the `perf_gate` binary merges
 /// them into `BENCH_pr.json` and compares throughput against the
 /// checked-in `BENCH_baseline.json`.
@@ -483,6 +531,9 @@ pub mod perf {
         pub throughput: f64,
         /// Extra `(key, value)` metrics, emitted verbatim.
         pub extras: Vec<(String, f64)>,
+        /// Extra `(key, value)` **string** annotations — provenance like
+        /// `noise_family`/`noise_params`, never compared by the gate.
+        pub tags: Vec<(String, String)>,
     }
 
     impl BenchRecord {
@@ -492,6 +543,7 @@ pub mod perf {
                 name: name.into(),
                 throughput,
                 extras: Vec::new(),
+                tags: Vec::new(),
             }
         }
 
@@ -499,6 +551,15 @@ pub mod perf {
         #[must_use]
         pub fn with(mut self, key: impl Into<String>, value: f64) -> Self {
             self.extras.push((key.into(), value));
+            self
+        }
+
+        /// Adds one string tag (builder-style). Tags ride along in the
+        /// JSON so artifacts name e.g. the noise family they ran under;
+        /// the regression gate ignores them.
+        #[must_use]
+        pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+            self.tags.push((key.into(), value.into()));
             self
         }
 
@@ -512,6 +573,9 @@ pub mod perf {
             );
             for (key, value) in &self.extras {
                 let _ = write!(out, ", \"{key}\": {value}");
+            }
+            for (key, value) in &self.tags {
+                let _ = write!(out, ", \"{key}\": \"{value}\"");
             }
             out.push('}');
             out
@@ -570,6 +634,14 @@ pub mod perf {
                         .as_str()
                         .ok_or_else(|| "record \"name\" must be a string".to_owned())?
                         .to_owned();
+                } else if let Some(text) = value.as_str() {
+                    // String-valued fields are tags (provenance
+                    // annotations like `noise_family`); everything the
+                    // gate might compare stays numeric.
+                    if key == "throughput" {
+                        return Err("record \"throughput\" must be a number".into());
+                    }
+                    record.tags.push((key.clone(), text.to_owned()));
                 } else {
                     let value = value
                         .as_f64()
@@ -876,12 +948,34 @@ mod tests {
         let records = vec![
             perf::BenchRecord::new("service_bench", 175234.5)
                 .with("p99_cycles", 15.0)
-                .with("budget_cycles", 2000.0),
+                .with("budget_cycles", 2000.0)
+                .with_tag("noise_family", "burst")
+                .with_tag("noise_params", "p=0.005,burst=0.001,mean_len=3"),
             perf::BenchRecord::new("table4", 812.0),
         ];
         let json = perf::render_records(&records);
         let parsed = perf::parse_records(&json).unwrap();
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn perf_parse_rejects_a_string_throughput() {
+        let err = perf::parse_records("{\"name\": \"x\", \"throughput\": \"fast\"}").unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+    }
+
+    #[test]
+    fn gate_ignores_string_tags() {
+        // Same numbers, different provenance tags: never a gate row,
+        // never a failure.
+        let baseline = vec![
+            perf::BenchRecord::new("svc", 1000.0).with_tag("noise_family", "phenomenological")
+        ];
+        let candidate =
+            vec![perf::BenchRecord::new("svc", 1000.0).with_tag("noise_family", "burst")];
+        let report = perf::gate::compare(&baseline, &candidate, 20.0).unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.rows.len(), 1, "only throughput is compared");
     }
 
     #[test]

@@ -38,6 +38,17 @@
 //! whatever is still buffered without a budget and raises the watermark
 //! to the last ingested round.
 //!
+//! # The ingest seam
+//!
+//! The mirror image of [`Decoder`] is [`SyndromeSource`]: *where the
+//! detection rounds come from*. The decode fabric drives any source the
+//! same way it drives any backend, so the internal simulator
+//! ([`SimulatedSource`], a `CodePatch` + noise model + seeded RNG) and a
+//! bit-packed recording or externally sampled event file
+//! (`qecool_surface_code::packed::PackedReader`) are interchangeable —
+//! that is what makes record/replay byte-identical and cross-validation
+//! against outside samplers possible.
+//!
 //! # Migration note for external `Decoder` impls
 //!
 //! Implementations written before the commit contract keep compiling
@@ -49,7 +60,9 @@
 //! watermark in `decode_step`/`finish` and return an accurate hint so
 //! callers can size ring buffers against the `W − S` lookahead.
 
-use qecool_surface_code::{DetectionRound, Edge};
+use qecool_surface_code::{AnyNoise, BitVec, CodePatch, DetectionRound, Edge, NoiseModel};
+use rand_chacha::ChaCha8Rng;
+use std::io::Read;
 
 use crate::decoder::QecoolDecoder;
 use crate::reg::RegOverflow;
@@ -280,6 +293,196 @@ impl Decoder for QecoolDecoder {
     }
 }
 
+/// Where detection rounds come from — the ingest-side mirror of
+/// [`Decoder`].
+///
+/// A source produces one [`DetectionRound`] at a time into a
+/// caller-owned buffer (alloc-free, like the decode side) and describes
+/// its own shape: how wide a round is, how many rounds it intends to
+/// produce, and whether it heralds erasures. Two first-class
+/// implementations exist:
+///
+/// * [`SimulatedSource`] — the internal simulator: a `CodePatch`, a
+///   noise model and a seeded RNG. Decoder corrections feed back into
+///   the patch through [`SyndromeSource::apply_corrections`], because a
+///   correction changes the reference syndrome of every later round.
+/// * `qecool_surface_code::packed::PackedReader` — a bit-packed
+///   recording or externally sampled event file. Corrections are
+///   already baked into the recorded rounds, so `apply_corrections`
+///   keeps its default no-op body — which is exactly why a replayed
+///   session reproduces the live session's corrections byte for byte.
+///
+/// The trait is object-safe: serving fabrics hold heterogeneous sources
+/// as `Box<dyn SyndromeSource>`.
+pub trait SyndromeSource {
+    /// Bits per round (one per detector/ancilla).
+    fn num_detectors(&self) -> usize;
+
+    /// The code distance behind this source, when it is known (a foreign
+    /// packed file may not carry one).
+    fn distance(&self) -> Option<u32> {
+        None
+    }
+
+    /// How many rounds this source intends to produce, when bounded.
+    fn declared_rounds(&self) -> Option<u64> {
+        None
+    }
+
+    /// Whether [`SyndromeSource::erasures`] will carry flags.
+    fn has_erasures(&self) -> bool {
+        false
+    }
+
+    /// Produces the next round into `out`, returning its 0-based round
+    /// index, or `None` when the source is exhausted (or failed — a
+    /// file-backed source parks its I/O error for retrieval).
+    fn next_round_into(&mut self, out: &mut DetectionRound) -> Option<u64>;
+
+    /// The erasure flags of the most recently produced round (one bit
+    /// per data qubit), for sources that herald them.
+    fn erasures(&self) -> Option<&BitVec> {
+        None
+    }
+
+    /// Feeds decoder corrections back into the source. Live simulators
+    /// must fold them into the patch so later rounds see the corrected
+    /// state; recorded/external sources ignore them (the producer
+    /// already did).
+    fn apply_corrections(&mut self, corrections: &[Edge]) {
+        let _ = corrections;
+    }
+}
+
+/// The internal simulator behind the [`SyndromeSource`] seam: a
+/// [`CodePatch`] advanced by a noise model and a seeded RNG, producing
+/// exactly the round stream the pre-seam inline loops produced (same
+/// per-round RNG draws, so digests are unchanged).
+#[derive(Debug, Clone)]
+pub struct SimulatedSource {
+    patch: CodePatch,
+    noise: AnyNoise,
+    rng: ChaCha8Rng,
+    limit: Option<u64>,
+    produced: u64,
+    erasure_plane: Option<BitVec>,
+}
+
+impl SimulatedSource {
+    /// An unbounded source over `patch` under `noise`, drawing from
+    /// `rng`. An erasure plane is allocated iff the noise family
+    /// heralds erasures.
+    pub fn new(patch: CodePatch, noise: AnyNoise, rng: ChaCha8Rng) -> Self {
+        let erasure_plane = noise
+            .tracks_erasures()
+            .then(|| BitVec::zeros(patch.lattice().num_data_qubits()));
+        Self {
+            patch,
+            noise,
+            rng,
+            limit: None,
+            produced: 0,
+            erasure_plane,
+        }
+    }
+
+    /// Bounds the source to `rounds` rounds (after which
+    /// [`SyndromeSource::next_round_into`] returns `None`).
+    #[must_use]
+    pub fn with_round_limit(mut self, rounds: u64) -> Self {
+        self.limit = Some(rounds);
+        self
+    }
+
+    /// The patch being simulated (e.g. for end-of-stream logical-error
+    /// checks).
+    pub fn patch(&self) -> &CodePatch {
+        &self.patch
+    }
+
+    /// Mutable access to the patch (fault injection, closing rounds).
+    pub fn patch_mut(&mut self) -> &mut CodePatch {
+        &mut self.patch
+    }
+
+    /// The noise model driving this source.
+    pub fn noise(&self) -> &AnyNoise {
+        &self.noise
+    }
+}
+
+impl SyndromeSource for SimulatedSource {
+    fn num_detectors(&self) -> usize {
+        self.patch.lattice().num_ancillas()
+    }
+
+    fn distance(&self) -> Option<u32> {
+        Some(self.patch.lattice().distance() as u32)
+    }
+
+    fn declared_rounds(&self) -> Option<u64> {
+        self.limit
+    }
+
+    fn has_erasures(&self) -> bool {
+        self.erasure_plane.is_some()
+    }
+
+    fn next_round_into(&mut self, out: &mut DetectionRound) -> Option<u64> {
+        if self.limit.is_some_and(|limit| self.produced >= limit) {
+            return None;
+        }
+        match &mut self.erasure_plane {
+            Some(flags) => {
+                self.patch
+                    .noisy_round_flagged_into(&self.noise, flags, &mut self.rng, out);
+            }
+            None => self.patch.noisy_round_into(&self.noise, &mut self.rng, out),
+        }
+        let round = self.produced;
+        self.produced += 1;
+        Some(round)
+    }
+
+    fn erasures(&self) -> Option<&BitVec> {
+        self.erasure_plane.as_ref()
+    }
+
+    fn apply_corrections(&mut self, corrections: &[Edge]) {
+        self.patch.apply_corrections(corrections.iter().copied());
+    }
+}
+
+impl<R: Read> SyndromeSource for qecool_surface_code::PackedReader<R> {
+    fn num_detectors(&self) -> usize {
+        self.header().num_detectors as usize
+    }
+
+    fn distance(&self) -> Option<u32> {
+        let d = self.header().distance;
+        (d != 0).then_some(d)
+    }
+
+    fn declared_rounds(&self) -> Option<u64> {
+        Some(self.header().rounds)
+    }
+
+    fn has_erasures(&self) -> bool {
+        self.header().has_erasures()
+    }
+
+    fn next_round_into(&mut self, out: &mut DetectionRound) -> Option<u64> {
+        qecool_surface_code::PackedReader::next_round_into(self, out)
+    }
+
+    fn erasures(&self) -> Option<&BitVec> {
+        self.last_erasures()
+    }
+
+    // apply_corrections: default no-op. The recording already reflects
+    // every correction the live session applied.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +700,112 @@ mod tests {
         decoder.ingest(&round).unwrap();
         decoder.finish(&mut out);
         assert_eq!(out.corrections, first);
+    }
+
+    use qecool_surface_code::{NoiseSpec, PackedReader, PackedWriter, PhenomenologicalNoise};
+    use rand::SeedableRng as _;
+    use std::io::Cursor;
+
+    #[test]
+    fn simulated_source_matches_the_inline_loop() {
+        // The seam must not change a single RNG draw: a SimulatedSource
+        // and the historical patch + noise + rng loop, seeded alike,
+        // produce identical round streams — with corrections fed back.
+        let lattice = Lattice::new(5).unwrap();
+        let noise_spec = NoiseSpec::Phenomenological { p: 0.05 };
+        let mut source = SimulatedSource::new(
+            CodePatch::new(lattice.clone()),
+            noise_spec.build(),
+            ChaCha8Rng::seed_from_u64(77),
+        );
+        let mut inline_patch = CodePatch::new(lattice.clone());
+        let inline_noise = PhenomenologicalNoise::symmetric(0.05);
+        let mut inline_rng = ChaCha8Rng::seed_from_u64(77);
+
+        let mut via_seam = DetectionRound::zeros(lattice.num_ancillas());
+        let mut inline = DetectionRound::zeros(lattice.num_ancillas());
+        let fake_correction = [lattice.horizontal_edge(1, 1)];
+        for round in 0..40u64 {
+            assert_eq!(source.next_round_into(&mut via_seam), Some(round));
+            inline_patch.noisy_round_into(&inline_noise, &mut inline_rng, &mut inline);
+            assert_eq!(via_seam, inline, "round {round} diverged");
+            // Corrections must reach the patch through the seam.
+            source.apply_corrections(&fake_correction);
+            inline_patch.apply_corrections(fake_correction.iter().copied());
+        }
+        assert_eq!(source.num_detectors(), lattice.num_ancillas());
+        assert_eq!(source.distance(), Some(5));
+        assert!(!source.has_erasures());
+        assert_eq!(source.declared_rounds(), None);
+    }
+
+    #[test]
+    fn simulated_source_round_limit_and_erasures() {
+        let lattice = Lattice::new(3).unwrap();
+        let spec = NoiseSpec::Erasure { p: 0.0, e: 1.0 };
+        let mut source = SimulatedSource::new(
+            CodePatch::new(lattice.clone()),
+            spec.build(),
+            ChaCha8Rng::seed_from_u64(3),
+        )
+        .with_round_limit(2);
+        assert!(source.has_erasures());
+        assert_eq!(source.declared_rounds(), Some(2));
+        let mut out = DetectionRound::zeros(lattice.num_ancillas());
+        assert_eq!(source.next_round_into(&mut out), Some(0));
+        let flags = source.erasures().expect("erasure plane");
+        assert_eq!(flags.len(), lattice.num_data_qubits());
+        assert_eq!(flags.count_ones(), lattice.num_data_qubits(), "e = 1");
+        assert_eq!(source.next_round_into(&mut out), Some(1));
+        assert_eq!(source.next_round_into(&mut out), None, "limit reached");
+    }
+
+    #[test]
+    fn recorded_rounds_replay_byte_identically_through_the_trait() {
+        // Record a simulated session's rounds through the packed writer,
+        // then replay the file through the same trait: every round (and
+        // the shape metadata) must come back bit for bit.
+        let lattice = Lattice::new(5).unwrap();
+        let spec = NoiseSpec::Burst {
+            p: 0.01,
+            burst: 0.02,
+            mean_len: 3.0,
+        };
+        let mut live = SimulatedSource::new(
+            CodePatch::new(lattice.clone()),
+            spec.build(),
+            ChaCha8Rng::seed_from_u64(2021),
+        )
+        .with_round_limit(25);
+        let mut writer = PackedWriter::new(
+            Cursor::new(Vec::new()),
+            5,
+            lattice.num_ancillas() as u32,
+            1,
+            0,
+        )
+        .unwrap();
+        let mut round = DetectionRound::zeros(lattice.num_ancillas());
+        let mut recorded = Vec::new();
+        while live.next_round_into(&mut round).is_some() {
+            writer.write_plane(round.events(), None).unwrap();
+            recorded.push(round.clone());
+        }
+        let file = writer.finish().unwrap().into_inner();
+
+        let mut replay = PackedReader::new(Cursor::new(file)).unwrap();
+        let source: &mut dyn SyndromeSource = &mut replay;
+        assert_eq!(source.num_detectors(), lattice.num_ancillas());
+        assert_eq!(source.distance(), Some(5));
+        assert_eq!(source.declared_rounds(), Some(25));
+        assert!(!source.has_erasures());
+        for (idx, expected) in recorded.iter().enumerate() {
+            assert_eq!(source.next_round_into(&mut round), Some(idx as u64));
+            assert_eq!(&round, expected, "round {idx} diverged on replay");
+            // Replay must ignore corrections: they are already baked in.
+            source.apply_corrections(&[lattice.horizontal_edge(0, 0)]);
+        }
+        assert_eq!(source.next_round_into(&mut round), None);
+        assert!(replay.take_error().is_none());
     }
 }

@@ -12,6 +12,7 @@
 //! assert on) are decided in exactly one place.
 
 use crate::reg::RegOverflow;
+use qecool_surface_code::{NoiseSpecError, PackedError};
 
 /// A fatal error with a well-defined process exit status.
 ///
@@ -28,6 +29,13 @@ pub trait FatalError: std::error::Error {
 }
 
 impl FatalError for RegOverflow {}
+
+// A malformed `--noise` spec or packed syndrome file is an invalid
+// operation, not a gate verdict: both exit 2 with the offending field
+// named by the error's Display, never a model constructor's panic.
+impl FatalError for NoiseSpecError {}
+
+impl FatalError for PackedError {}
 
 /// Prints `error: {err}` on stderr and exits with the error's
 /// [`FatalError::exit_code`]. The single exit path of every bench

@@ -36,7 +36,7 @@
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "job_list_hash": 1234,        // FNV-1a over jobs + seed layout
 //!   "base_seed": 2021,
 //!   "chunk_shots": 64,
@@ -95,12 +95,13 @@ use qecool::json::{obj, Json};
 use crate::engine::{DecodeEngine, McJob};
 use crate::montecarlo::McResult;
 use crate::stats::CycleAggregate;
-use crate::trials::{DecoderKind, NoiseKind, TrialConfig};
+use crate::trials::{DecoderKind, TrialConfig};
+use qecool_surface_code::NoiseSpec;
 
 /// Schema version of the checkpoint file. Bumped on any change to the
 /// serialized fields **or** to [`derive_seed`] — both would break the
 /// resumed-equals-uninterrupted guarantee across versions.
-pub const CHECKPOINT_VERSION: u64 = 1;
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// SplitMix64 finalizer: the standard 64-bit avalanche mix.
 #[inline]
@@ -901,7 +902,6 @@ fn job_list_hash(jobs: &[CampaignJob]) -> u64 {
     for job in jobs {
         let t = &job.trial;
         fold(t.d as u64);
-        fold(t.p.to_bits());
         fold(t.rounds as u64);
         let (decoder_tag, decoder_arg) = match t.decoder {
             DecoderKind::BatchQecool => (0u64, 0u64),
@@ -911,10 +911,21 @@ fn job_list_hash(jobs: &[CampaignJob]) -> u64 {
         };
         fold(decoder_tag);
         fold(decoder_arg);
-        fold(match t.noise {
-            NoiseKind::Phenomenological => 0,
-            NoiseKind::CodeCapacity => 1,
-        });
+        // Noise identity: a family tag plus every parameter's exact
+        // bits. Same shape (tag, rate bits, …) the v1 hash used for its
+        // two families, extended to the full NoiseSpec matrix.
+        let (noise_tag, params) = match t.noise {
+            NoiseSpec::Phenomenological { p } => (0u64, [p, 0.0, 0.0]),
+            NoiseSpec::CodeCapacity { p } => (1, [p, 0.0, 0.0]),
+            NoiseSpec::Asymmetric { p, q } => (2, [p, q, 0.0]),
+            NoiseSpec::Biased { p, eta } => (3, [p, eta, 0.0]),
+            NoiseSpec::Erasure { p, e } => (4, [p, e, 0.0]),
+            NoiseSpec::Burst { p, burst, mean_len } => (5, [p, burst, mean_len]),
+        };
+        fold(noise_tag);
+        for param in params {
+            fold(param.to_bits());
+        }
         fold(t.boundary_penalty);
         fold(job.shots as u64);
     }
@@ -1193,7 +1204,7 @@ mod tests {
             }),
         };
         let text = format!(
-            "{{\"version\":1,\"job_list_hash\":{},\"base_seed\":4,\"chunk_shots\":16,\
+            "{{\"version\":2,\"job_list_hash\":{},\"base_seed\":4,\"chunk_shots\":16,\
              \"round_chunks\":2,\"stop\":{{\"target_ci_width\":0.01,\"extra_shot_budget\":200}},\
              \"budget_left\":200,\"chunks_done\":3,\
              \"jobs\":[{{\"shots\":40,\"failures\":40,\"overflows\":0,\"matches\":0,\
@@ -1230,11 +1241,23 @@ mod tests {
             );
         }
 
-        let versioned = text.replacen("\"version\":1", "\"version\":99", 1);
+        let versioned = text.replacen("\"version\":2", "\"version\":99", 1);
         assert!(matches!(
             CampaignRunner::resume_from_str(&engine, jobs.clone(), config, &versioned),
             Err(CampaignError::VersionMismatch {
                 found: 99,
+                expected: CHECKPOINT_VERSION
+            })
+        ));
+
+        // A v1 file (pre-NoiseSpec schema: noise hashed as a bare kind
+        // tag) must be a named version mismatch, never a silent
+        // reinterpretation under the new job-list hash.
+        let old = text.replacen("\"version\":2", "\"version\":1", 1);
+        assert!(matches!(
+            CampaignRunner::resume_from_str(&engine, jobs.clone(), config, &old),
+            Err(CampaignError::VersionMismatch {
+                found: 1,
                 expected: CHECKPOINT_VERSION
             })
         ));

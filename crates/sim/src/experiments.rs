@@ -3,7 +3,8 @@
 use crate::engine::{DecodeEngine, McJob};
 use crate::montecarlo::McResult;
 use crate::threshold::Curve;
-use crate::trials::{DecoderKind, NoiseKind, TrialConfig};
+use crate::trials::{DecoderKind, TrialConfig};
+use qecool_surface_code::NoiseSpec;
 
 /// One `(d, p)` sample of a sweep.
 #[derive(Debug, Clone)]
@@ -55,7 +56,7 @@ impl Sweep {
 /// [`DecodeEngine`]; see [`sweep_on`].
 pub fn sweep<F>(
     decoder: DecoderKind,
-    noise: NoiseKind,
+    noise: NoiseSpec,
     ds: &[usize],
     ps: &[f64],
     base_seed: u64,
@@ -89,7 +90,7 @@ where
 pub fn sweep_on<F>(
     engine: &DecodeEngine,
     decoder: DecoderKind,
-    noise: NoiseKind,
+    noise: NoiseSpec,
     ds: &[usize],
     ps: &[f64],
     base_seed: u64,
@@ -103,14 +104,15 @@ where
         for (pi, &p) in ps.iter().enumerate() {
             let trial = TrialConfig {
                 d,
-                p,
-                rounds: if noise == NoiseKind::CodeCapacity {
+                rounds: if matches!(noise, NoiseSpec::CodeCapacity { .. }) {
                     1
                 } else {
                     d
                 },
                 decoder,
-                noise,
+                // The sweep moves the spec along the rate axis; shape
+                // parameters (q, eta, burst geometry) stay fixed.
+                noise: noise.with_rate(p),
                 boundary_penalty: qecool::DEFAULT_BOUNDARY_PENALTY,
             };
             jobs.push(McJob {
@@ -129,7 +131,7 @@ where
             .zip(results)
             .map(|(job, mc)| SweepPoint {
                 d: job.trial.d,
-                p: job.trial.p,
+                p: job.trial.p(),
                 mc,
             })
             .collect(),
@@ -172,7 +174,7 @@ mod tests {
     fn small_sweep_produces_curves() {
         let s = sweep(
             DecoderKind::BatchQecool,
-            NoiseKind::Phenomenological,
+            NoiseSpec::Phenomenological { p: 0.0 },
             &[3, 5],
             &[0.002, 0.02],
             1,
@@ -192,7 +194,7 @@ mod tests {
         let run = || {
             sweep(
                 DecoderKind::BatchQecool,
-                NoiseKind::Phenomenological,
+                NoiseSpec::Phenomenological { p: 0.0 },
                 &[3],
                 &[0.05],
                 9,

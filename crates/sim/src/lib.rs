@@ -5,8 +5,9 @@
 //! reports:
 //!
 //! * [`trials`] — one fault-tolerant memory experiment per decoder
-//!   (batch-QECOOL, on-line QECOOL with a cycle budget, exact MWPM), with
-//!   phenomenological or code-capacity noise, plus the reusable
+//!   (batch-QECOOL, on-line QECOOL with a cycle budget, exact MWPM),
+//!   under any [`NoiseSpec`] family (phenomenological, asymmetric,
+//!   code-capacity, biased, erasure, burst), plus the reusable
 //!   [`TrialScratch`](trials::TrialScratch) worker state;
 //! * [`engine`] — the parallel streaming decode engine: a lock-free
 //!   shard queue feeding zero-per-shot-allocation workers, with
@@ -81,5 +82,8 @@ pub use service::{
 pub use shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
 pub use stats::{CycleAggregate, RateEstimate};
 pub use threshold::{estimate_threshold, Curve, ThresholdEstimate};
-pub use trials::{run_trial, DecoderKind, NoiseKind, TrialConfig, TrialOutcome};
+pub use trials::{run_trial, DecoderKind, TrialConfig, TrialOutcome};
+// The noise-family matrix lives in `qecool-surface-code`; re-exported
+// here because every `TrialConfig` carries one.
+pub use qecool_surface_code::NoiseSpec;
 pub use window::{StreamingMwpm, StreamingUf, WindowConfig};

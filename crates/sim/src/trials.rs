@@ -2,19 +2,19 @@
 //! decoder.
 //!
 //! A trial prepares a clean distance-`d` patch, runs `rounds` noisy QEC
-//! rounds (phenomenological noise: data *and* measurement errors at rate
-//! `p`), closes the window with one perfect measurement round — the
-//! standard memory-experiment termination — decodes with the configured
-//! decoder, and reports whether the residual error implements a logical
-//! operator. For on-line QECOOL the decode work is interleaved with the
+//! rounds under the configured noise family (a
+//! [`NoiseSpec`] — the paper's phenomenological model by default),
+//! closes the window with one perfect measurement round — the standard
+//! memory-experiment termination — decodes with the configured decoder,
+//! and reports whether the residual error implements a logical operator.
+//! For on-line QECOOL the decode work is interleaved with the
 //! measurements under a per-layer cycle budget, and register overflow
 //! counts as a failure (paper §V-B).
 
 use qecool::{QecoolConfig, QecoolDecoder, RunReport, DEFAULT_BOUNDARY_PENALTY};
 use qecool_mwpm::MwpmDecoder;
 use qecool_surface_code::{
-    CodeCapacityNoise, CodePatch, DetectionRound, Lattice, NoiseModel, PhenomenologicalNoise,
-    SyndromeHistory,
+    CodePatch, DetectionRound, Lattice, NoiseModel, NoiseSpec, SyndromeHistory,
 };
 use qecool_uf::UnionFindDecoder;
 use rand::SeedableRng;
@@ -38,29 +38,19 @@ pub enum DecoderKind {
     UnionFind,
 }
 
-/// Noise model selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum NoiseKind {
-    /// Data + measurement errors at equal rate `p` (the paper's 3-D
-    /// setting).
-    Phenomenological,
-    /// Data errors only (the "2-D" threshold setting of Table IV).
-    CodeCapacity,
-}
-
-/// Full configuration of one trial.
+/// Full configuration of one trial. The physical error rate lives
+/// inside [`TrialConfig::noise`] (every family's primary rate is its
+/// `p`); [`TrialConfig::p`] reads it back for reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialConfig {
     /// Code distance.
     pub d: usize,
-    /// Physical error rate `p`.
-    pub p: f64,
     /// Number of noisy measurement rounds (the paper uses `d`).
     pub rounds: usize,
     /// Decoder under test.
     pub decoder: DecoderKind,
-    /// Noise model.
-    pub noise: NoiseKind,
+    /// Noise family and parameters, including the physical error rate.
+    pub noise: NoiseSpec,
     /// Extra hops charged to Boundary-Unit spikes (QECOOL decoders only;
     /// the paper's design de-prioritizes boundaries, footnote 1).
     pub boundary_penalty: u64,
@@ -68,14 +58,13 @@ pub struct TrialConfig {
 
 impl TrialConfig {
     /// The paper's standard 3-D memory experiment: `d` noisy rounds of
-    /// phenomenological noise.
+    /// phenomenological noise at rate `p`.
     pub fn standard(d: usize, p: f64, decoder: DecoderKind) -> Self {
         Self {
             d,
-            p,
             rounds: d,
             decoder,
-            noise: NoiseKind::Phenomenological,
+            noise: NoiseSpec::Phenomenological { p },
             boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
         }
     }
@@ -84,12 +73,16 @@ impl TrialConfig {
     pub fn code_capacity(d: usize, p: f64, decoder: DecoderKind) -> Self {
         Self {
             d,
-            p,
             rounds: 1,
             decoder,
-            noise: NoiseKind::CodeCapacity,
+            noise: NoiseSpec::CodeCapacity { p },
             boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
         }
+    }
+
+    /// The primary physical error rate of the configured noise family.
+    pub fn p(&self) -> f64 {
+        self.noise.rate()
     }
 }
 
@@ -256,20 +249,12 @@ pub fn run_trial_into(
     let patch = patch.as_mut().expect("patch warmed");
     let round = round.as_mut().expect("round buffer warmed");
     patch.reset();
-    match cfg.noise {
-        NoiseKind::Phenomenological => {
-            let noise = PhenomenologicalNoise::symmetric(cfg.p);
-            run_with_noise(
-                cfg, patch, history, qecool, mwpm, uf, round, report, &noise, &mut rng, out,
-            );
-        }
-        NoiseKind::CodeCapacity => {
-            let noise = CodeCapacityNoise::new(cfg.p);
-            run_with_noise(
-                cfg, patch, history, qecool, mwpm, uf, round, report, &noise, &mut rng, out,
-            );
-        }
-    }
+    // The one construction site: every family flows through the same
+    // enum-dispatched model — no per-call fan-out over noise kinds.
+    let noise = cfg.noise.build();
+    run_with_noise(
+        cfg, patch, history, qecool, mwpm, uf, round, report, &noise, &mut rng, out,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -521,10 +506,9 @@ mod tests {
     fn tiny_budget_causes_overflow_at_high_noise() {
         let cfg = TrialConfig {
             d: 9,
-            p: 0.02,
             rounds: 9,
             decoder: DecoderKind::OnlineQecool { budget_cycles: 5 },
-            noise: NoiseKind::Phenomenological,
+            noise: NoiseSpec::Phenomenological { p: 0.02 },
             boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
         };
         let overflows: usize = (0..20)
@@ -577,6 +561,40 @@ mod tests {
                 assert_eq!(out.vertical_hist, fresh.vertical_hist);
                 assert_eq!(out.matches, fresh.matches);
             }
+        }
+    }
+
+    #[test]
+    fn every_noise_family_runs_through_one_construction_site() {
+        // Compile-time pin: this match lists every NoiseSpec variant
+        // with NO wildcard arm, so adding a family without threading it
+        // through `TrialConfig` fails to compile right here.
+        fn family_of(spec: NoiseSpec) -> &'static str {
+            match spec {
+                NoiseSpec::Phenomenological { .. } => "phenomenological",
+                NoiseSpec::Asymmetric { .. } => "asymmetric",
+                NoiseSpec::CodeCapacity { .. } => "code_capacity",
+                NoiseSpec::Biased { .. } => "biased",
+                NoiseSpec::Erasure { .. } => "erasure",
+                NoiseSpec::Burst { .. } => "burst",
+            }
+        }
+        for family in NoiseSpec::FAMILIES {
+            let spec = NoiseSpec::parse(family).expect(family).with_rate(0.01);
+            assert_eq!(family_of(spec), *family);
+            let cfg = TrialConfig {
+                d: 3,
+                rounds: 3,
+                decoder: DecoderKind::BatchQecool,
+                noise: spec,
+                boundary_penalty: DEFAULT_BOUNDARY_PENALTY,
+            };
+            assert_eq!(cfg.p(), 0.01);
+            // Every family actually runs end to end, deterministically.
+            let a = run_trial(&cfg, 11);
+            let b = run_trial(&cfg, 11);
+            assert_eq!(a.logical_error, b.logical_error, "{family}");
+            assert_eq!(a.matches, b.matches, "{family}");
         }
     }
 

@@ -8,9 +8,15 @@
 //!   `d × (d − 1)` grid of syndrome ancillas with two open (west/east)
 //!   boundaries, exactly matching the paper's `d × (d − 1)` Unit array and
 //!   its two shared Boundary Units (§IV-A);
-//! * the **phenomenological noise model** (Dennis et al.): independent
-//!   data-qubit flips with probability `p` per measurement round *and*
-//!   syndrome measurement flips with probability `q` per round;
+//! * a **noise-family matrix** (see [`noise`]): the paper's
+//!   phenomenological model (independent data-qubit flips with
+//!   probability `p` per measurement round *and* syndrome measurement
+//!   flips with probability `q` per round) plus asymmetric, code-capacity,
+//!   Z-biased, heralded-erasure and burst/correlated families, all named
+//!   by the serializable [`NoiseSpec`];
+//! * a **bit-packed detection-event file format** (see [`packed`]) so any
+//!   run can be recorded and replayed byte-identically, or sessions fed
+//!   from externally sampled events;
 //! * **syndrome extraction with detection-event semantics**: the decoder
 //!   consumes detection events (`current syndrome ⊕ last reported syndrome`)
 //!   and the tracker folds the decoder's own corrections into the reference
@@ -47,12 +53,17 @@ pub mod bitvec;
 pub mod geometry;
 pub mod history;
 pub mod noise;
+pub mod packed;
 pub mod patch;
 pub mod syndrome;
 
 pub use bitvec::BitVec;
 pub use geometry::{Ancilla, Boundary, Edge, EdgeKind, Lattice, LatticeError, SupportMasks};
 pub use history::SyndromeHistory;
-pub use noise::{CodeCapacityNoise, NoiseModel, PhenomenologicalNoise};
+pub use noise::{
+    AnyNoise, BiasedNoise, BurstNoise, CodeCapacityNoise, ErasureNoise, NoiseModel, NoiseSpec,
+    NoiseSpecError, PhenomenologicalNoise,
+};
+pub use packed::{PackedError, PackedHeader, PackedReader, PackedWriter};
 pub use patch::CodePatch;
 pub use syndrome::DetectionRound;

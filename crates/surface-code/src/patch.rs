@@ -118,18 +118,34 @@ impl CodePatch {
         self.errors.toggle(e.index());
     }
 
-    /// Applies one round of data noise: each data qubit flips independently
-    /// with the model's data error rate.
+    /// Applies one round of data noise, delegating the whole pass to the
+    /// model ([`NoiseModel::apply_data_round`]): i.i.d. families flip
+    /// each data qubit independently with the model's data error rate
+    /// (via the trait's default body, which keeps the historical RNG
+    /// stream draw for draw); correlated families own their own loop.
     pub fn apply_data_noise<N: NoiseModel, R: Rng + ?Sized>(&mut self, noise: &N, rng: &mut R) {
-        let p = noise.data_error_rate();
-        if p == 0.0 {
-            return;
-        }
-        for q in 0..self.errors.len() {
-            if rng.gen_bool(p) {
-                self.errors.toggle(q);
-            }
-        }
+        noise.apply_data_round(&mut self.errors, None, rng);
+    }
+
+    /// [`Self::apply_data_noise`] with a per-data-qubit erasure flag
+    /// plane: models that herald erasures write them into `erasures`
+    /// (cleared first); all other families just clear it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `erasures` does not have one bit per data qubit.
+    pub fn apply_data_noise_flagged<N: NoiseModel, R: Rng + ?Sized>(
+        &mut self,
+        noise: &N,
+        erasures: &mut BitVec,
+        rng: &mut R,
+    ) {
+        assert_eq!(
+            erasures.len(),
+            self.errors.len(),
+            "erasure buffer width does not match data qubits"
+        );
+        noise.apply_data_round(&mut self.errors, Some(erasures), rng);
     }
 
     /// The true (noiseless) syndrome of the current error state.
@@ -260,6 +276,25 @@ impl CodePatch {
         out: &mut DetectionRound,
     ) {
         self.apply_data_noise(noise, rng);
+        self.measure_into(noise, rng, out);
+    }
+
+    /// [`Self::noisy_round_into`] that also collects this round's
+    /// per-data-qubit erasure flags (see
+    /// [`Self::apply_data_noise_flagged`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one bit per ancilla or `erasures`
+    /// one bit per data qubit.
+    pub fn noisy_round_flagged_into<N: NoiseModel, R: Rng + ?Sized>(
+        &mut self,
+        noise: &N,
+        erasures: &mut BitVec,
+        rng: &mut R,
+        out: &mut DetectionRound,
+    ) {
+        self.apply_data_noise_flagged(noise, erasures, rng);
         self.measure_into(noise, rng, out);
     }
 

@@ -30,7 +30,7 @@ pub use qecool_uf as uf;
 // The long-lived decoding service is the workspace's primary serving
 // surface; surface it (and its budget type) at the crate root so
 // downstream users don't need to know which member crate owns what.
-pub use qecool::{CommitCadence, CommitHint, FatalError};
+pub use qecool::{CommitCadence, CommitHint, FatalError, SimulatedSource, SyndromeSource};
 pub use qecool_obs::{MetricsRegistry, Snapshot, TelemetryHandle};
 pub use qecool_sfq::budget::CycleBudget;
 pub use qecool_sim::service::{
@@ -39,3 +39,4 @@ pub use qecool_sim::service::{
 };
 pub use qecool_sim::shard::{ShardStats, ShardedDecodeService, ShardedServiceConfig};
 pub use qecool_sim::window::{StreamingMwpm, StreamingUf, WindowConfig};
+pub use qecool_surface_code::{NoiseSpec, PackedReader, PackedWriter};

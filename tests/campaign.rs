@@ -15,7 +15,7 @@ use qecool_repro::sim::campaign::{
     CampaignConfig, CampaignError, CampaignJob, CampaignRunner, RunOutcome, StopRule,
 };
 use qecool_repro::sim::{
-    sweep_on, DecodeEngine, DecoderKind, McJob, McResult, NoiseKind, TrialConfig,
+    sweep_on, DecodeEngine, DecoderKind, McJob, McResult, NoiseSpec, TrialConfig,
 };
 
 /// A per-test scratch file in the OS temp dir (no tempfile crate in the
@@ -154,12 +154,24 @@ fn corrupted_and_mismatched_checkpoints_are_named_errors() {
     ));
 
     // Schema version from the future.
-    fs::write(&path, good.replacen("\"version\":1", "\"version\":7", 1)).unwrap();
+    fs::write(&path, good.replacen("\"version\":2", "\"version\":7", 1)).unwrap();
     assert!(matches!(
         CampaignRunner::resume(&engine, jobs(), config(), &path),
         Err(CampaignError::VersionMismatch {
             found: 7,
-            expected: 1
+            expected: 2
+        })
+    ));
+
+    // A pre-NoiseSpec (v1) checkpoint is named too, never silently
+    // resumed: the job-list hash folds noise parameters the old schema
+    // did not carry.
+    fs::write(&path, good.replacen("\"version\":2", "\"version\":1", 1)).unwrap();
+    assert!(matches!(
+        CampaignRunner::resume(&engine, jobs(), config(), &path),
+        Err(CampaignError::VersionMismatch {
+            found: 1,
+            expected: 2
         })
     ));
 
@@ -231,7 +243,7 @@ fn campaign_over_a_sweep_grid_reproduces_sweep_on() {
     let sweep = sweep_on(
         &engine,
         DecoderKind::BatchQecool,
-        NoiseKind::Phenomenological,
+        NoiseSpec::Phenomenological { p: 0.0 },
         &ds,
         &ps,
         7,
@@ -245,10 +257,9 @@ fn campaign_over_a_sweep_grid_reproduces_sweep_on() {
             ps.iter().map(move |&p| CampaignJob {
                 trial: TrialConfig {
                     d,
-                    p,
                     rounds: d,
                     decoder: DecoderKind::BatchQecool,
-                    noise: NoiseKind::Phenomenological,
+                    noise: NoiseSpec::Phenomenological { p },
                     boundary_penalty: qecool_repro::decoder::DEFAULT_BOUNDARY_PENALTY,
                 },
                 shots: 30,
